@@ -1,0 +1,83 @@
+"""Experiment A3 / Figure 9 — effect of partial-sort segment size.
+
+Tables R0..R7 sweep the rows-per-c1-value from 1 to the full table; the
+query is ORDER BY (c1, c2) over input clustered on c1.  The paper's
+shape: MRS ≪ SRS while a segment fits in sort memory; a sharp SRS-like
+rise once segments outgrow memory; convergence when one segment is the
+whole input.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_plan
+from repro.core.sort_order import SortOrder
+from repro.engine import Sort, TableScan
+from repro.storage import SystemParameters
+from repro.workloads import segmented_catalog
+
+NUM_ROWS = 40_000
+ROW_BYTES = 200
+#: 16 blocks × 4 KB = 64 KB of sort memory → ~327 rows fit.
+PARAMS = SystemParameters(block_size=4096, sort_memory_blocks=16)
+MEMORY_ROWS = PARAMS.sort_memory_bytes // ROW_BYTES
+
+#: Segment sizes in rows, sweeping across the memory boundary (~327).
+SEGMENT_SIZES = [1, 10, 100, 300, 1_000, 10_000, NUM_ROWS]
+
+
+def _measure(rows_per_segment):
+    catalog = segmented_catalog(NUM_ROWS, rows_per_segment, params=PARAMS)
+    scan = TableScan(catalog.table("r"))
+    target = SortOrder(["c1", "c2"])
+    srs = run_plan(Sort(scan, target, algorithm="srs"), catalog, "SRS")
+    mrs = run_plan(Sort(scan, target, algorithm="mrs",
+                        known_prefix=SortOrder(["c1"])), catalog, "MRS")
+    return srs, mrs
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {size: _measure(size) for size in SEGMENT_SIZES}
+
+
+def test_fig9_segment_size_sweep(benchmark, sweep, results_sink):
+    benchmark.pedantic(lambda: _measure(100), rounds=1, iterations=1)
+
+    rows = []
+    for size in SEGMENT_SIZES:
+        srs, mrs = sweep[size]
+        rows.append([size, size * ROW_BYTES, round(srs.cost_units, 1),
+                     round(mrs.cost_units, 1),
+                     round(srs.cost_units / max(mrs.cost_units, 1e-9), 2)])
+    results_sink(format_table(
+        ["rows/segment", "segment bytes", "SRS cost", "MRS cost",
+         "SRS/MRS"],
+        rows,
+        title=(f"Figure 9 — Experiment A3: segment-size sweep "
+               f"({NUM_ROWS} rows x {ROW_BYTES} B, memory {MEMORY_ROWS} rows)")))
+
+    # Shape assertions (the paper's three regimes).
+    for size in SEGMENT_SIZES:
+        srs, mrs = sweep[size]
+        assert mrs.cost_units <= srs.cost_units * 1.10, size
+
+    small = [s for s in SEGMENT_SIZES if s <= MEMORY_ROWS]
+    for size in small:
+        srs, mrs = sweep[size]
+        assert mrs.blocks_written == 0, f"MRS spilled at segment={size}"
+        assert srs.cost_units / mrs.cost_units > 2.0, size
+
+    # Convergence at the right edge: one segment = whole input.
+    srs_end, mrs_end = sweep[NUM_ROWS]
+    assert srs_end.cost_units / mrs_end.cost_units < 1.6
+
+
+def test_fig9_mrs_cliff_when_segment_exceeds_memory(sweep, benchmark):
+    """MRS cost rises sharply once segments stop fitting (the knee of the
+    MRS curve in Fig. 9)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fits = sweep[300][1]        # 300 rows ≈ just fits
+    exceeds = sweep[1_000][1]   # 1000 rows ≈ 3× memory
+    assert fits.blocks_written == 0
+    assert exceeds.blocks_written > 0
+    assert exceeds.cost_units > fits.cost_units * 2

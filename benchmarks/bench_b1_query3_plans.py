@@ -1,0 +1,82 @@
+"""Experiment B1 / Figures 10–11 — Query 3 plan shapes and estimated costs.
+
+Reconstructs the four plans of the figures (PostgreSQL default, PYRO-O,
+SYS1 default hash plan, SYS1 forced merge plan) at the paper's full
+TPC-H scale (stats-only) and checks the cost ordering the paper reports:
+PYRO-O's partial-sort plan beats every alternative; the full sort of 6M
+lineitem index entries is the dominant cost everywhere else.
+"""
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    postgres_default_q3,
+    pyro_o_q3,
+    sys1_default_q3,
+    sys1_merge_q3,
+)
+from repro.optimizer import Optimizer
+
+
+@pytest.fixture(scope="module")
+def plans(tpch_paper_stats):
+    return {
+        "PostgreSQL default (Fig 10a)": postgres_default_q3(tpch_paper_stats),
+        "PYRO-O (Fig 10b)": pyro_o_q3(tpch_paper_stats),
+        "SYS1 default hash (Fig 11a)": sys1_default_q3(tpch_paper_stats),
+        "SYS1 forced merge (Fig 11b)": sys1_merge_q3(tpch_paper_stats),
+    }
+
+
+def test_fig10_11_plan_costs(benchmark, plans, tpch_paper_stats, query3,
+                             results_sink):
+    optimizer = Optimizer(tpch_paper_stats, strategy="pyro-o",
+                          enable_hash_join=False, enable_hash_aggregate=False)
+    optimized = benchmark.pedantic(lambda: optimizer.optimize(query3),
+                                   rounds=3, iterations=1)
+
+    costs = {name: p.total_cost for name, p in plans.items()}
+    costs["PYRO-O optimizer output"] = optimized.total_cost
+
+    # The optimizer's plan must match the hand-built Fig 10(b) shape.
+    assert optimized.total_cost <= costs["PYRO-O (Fig 10b)"] * 1.02
+    # PYRO-O beats both sort-based competitors decisively.
+    assert costs["PYRO-O (Fig 10b)"] < costs["PostgreSQL default (Fig 10a)"] / 2
+    assert costs["PYRO-O (Fig 10b)"] < costs["SYS1 forced merge (Fig 11b)"] / 2
+
+    rows = sorted(costs.items(), key=lambda kv: kv[1])
+    results_sink(format_table(
+        ["plan", "estimated cost (I/O units)"],
+        [[k, v] for k, v in rows],
+        title="Figures 10-11 — Experiment B1: Query 3 plan costs at TPC-H SF1"))
+
+
+def test_fig10b_plan_shape(tpch_paper_stats, query3, benchmark, results_sink):
+    """The optimizer independently discovers the Figure 10(b) shape."""
+    optimizer = Optimizer(tpch_paper_stats, strategy="pyro-o",
+                          enable_hash_join=False, enable_hash_aggregate=False)
+    plan = benchmark.pedantic(lambda: optimizer.optimize(query3),
+                              rounds=1, iterations=1)
+    ops = [p.op for p in plan.walk()]
+    assert ops.count("CoveringIndexScan") == 2
+    assert ops.count("PartialSort") >= 2
+    assert "MergeJoin" in ops and "SortAggregate" in ops
+    join = plan.find_all("MergeJoin")[0]
+    assert join.order.as_tuple[0] in ("ps_suppkey", "l_suppkey")
+    results_sink("Figure 10(b) — optimizer-chosen Query 3 plan:\n"
+                 + plan.explain())
+
+
+def test_partial_sort_is_the_decisive_factor(tpch_paper_stats, query3,
+                                             benchmark):
+    """Disabling partial sort enforcers (PYRO-O−) forfeits the gain —
+    the mechanism behind the Fig 10(a)/(b) gap."""
+    kwargs = dict(enable_hash_join=False, enable_hash_aggregate=False)
+    with_ps = benchmark.pedantic(
+        lambda: Optimizer(tpch_paper_stats, strategy="pyro-o",
+                          **kwargs).optimize(query3).total_cost,
+        rounds=1, iterations=1)
+    without = Optimizer(tpch_paper_stats, strategy="pyro-o-",
+                        **kwargs).optimize(query3).total_cost
+    assert with_ps < without / 2

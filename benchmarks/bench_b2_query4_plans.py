@@ -1,0 +1,73 @@
+"""Experiment B2 / Figure 14 — Query 4 plan shapes.
+
+Two full outer joins sharing {c4, c5}.  SYS1/PostgreSQL chose orders
+with no common prefix (Fig 14a); PYRO-O's phase-2 refinement aligns both
+joins on (c4, c5) (Fig 14b); SYS2's union-of-left-outer-joins workaround
+pays for uncoordinated orders at the union.
+"""
+
+import pytest
+
+from repro.bench import format_table, pyro_o_q4, sys2_union_q4, sys_default_q4
+from repro.core.sort_order import longest_common_prefix
+from repro.optimizer import Optimizer
+from repro.storage import SystemParameters
+from repro.workloads import query4, r_tables_stats_catalog
+
+
+@pytest.fixture(scope="module")
+def stats_cat():
+    # 1 MB sort memory: full sorts of the 100K-row tables go external.
+    return r_tables_stats_catalog(
+        params=SystemParameters(sort_memory_blocks=250))
+
+
+def test_fig14_plan_costs(benchmark, stats_cat, results_sink):
+    default = sys_default_q4(stats_cat)
+    shared = pyro_o_q4(stats_cat)
+    optimized = benchmark.pedantic(
+        lambda: Optimizer(stats_cat, enable_hash_join=False).optimize(query4()),
+        rounds=3, iterations=1)
+
+    assert shared.total_cost < default.total_cost
+    assert optimized.total_cost <= shared.total_cost * 1.02
+
+    results_sink(format_table(
+        ["plan", "estimated cost"],
+        [["SYS1/Postgres shape (Fig 14a, no common prefix)", default.total_cost],
+         ["PYRO-O shape (Fig 14b, shared (c4,c5))", shared.total_cost],
+         ["PYRO-O optimizer output (phase 1+2)", optimized.total_cost]],
+        title="Figure 14 — Experiment B2: Query 4 plan costs (100K rows/table)"))
+
+
+def test_fig14_optimizer_recovers_shared_prefix(stats_cat, benchmark,
+                                                results_sink):
+    plan = benchmark.pedantic(
+        lambda: Optimizer(stats_cat, enable_hash_join=False).optimize(query4()),
+        rounds=1, iterations=1)
+    joins = plan.find_all("MergeJoin")
+    assert len(joins) == 2
+    shared = longest_common_prefix(joins[0].order, joins[1].order)
+    names = {a.split("_")[-1] for a in shared}
+    assert names == {"c4", "c5"}
+    results_sink("Figure 14(b) — optimizer-chosen Query 4 plan:\n"
+                 + plan.explain())
+
+
+def test_sys2_union_workaround_expensive(stats_cat, benchmark, results_sink):
+    """SYS2's union of two LOJs with mismatched orders costs more than a
+    single coordinated full outer join of the same inputs."""
+    union_plan = benchmark.pedantic(lambda: sys2_union_q4(stats_cat),
+                                    rounds=1, iterations=1)
+    from repro.bench.baselines import PlanBuilder
+    b = PlanBuilder(stats_cat)
+    direct = b.merge_join(
+        b.table_scan("r1"), b.table_scan("r2"),
+        [("r1_c4", "r2_c4"), ("r1_c5", "r2_c5"), ("r1_c3", "r2_c3")],
+        join_type="full")
+    assert direct.total_cost < union_plan.total_cost
+    results_sink(format_table(
+        ["plan", "estimated cost"],
+        [["SYS2 union of 2 LOJs (uncoordinated orders)", union_plan.total_cost],
+         ["Single merge full outer join", direct.total_cost]],
+        title="Figure 14 — SYS2's union workaround vs a coordinated FOJ"))

@@ -1,0 +1,98 @@
+"""Experiment B3 / Figure 15 — normalized plan cost of the heuristics.
+
+PYRO (arbitrary), PYRO-O− (no partial sort), PYRO-P (PostgreSQL
+heuristic), PYRO-O and PYRO-E (exhaustive) on Queries 3–6, normalized to
+PYRO-E = 100 (the paper's y-axis).  Expected shape:
+
+* PYRO-E = PYRO-O = 100 everywhere (the paper found PYRO-O optimal);
+* Q3/Q4: few join attributes → PYRO-P near-optimal (paper's remark);
+* Q5/Q6: PYRO-P suffers from arbitrary secondary orders;
+* PYRO and PYRO-O− clearly worst.
+"""
+
+import pytest
+
+from repro.bench import format_table, normalize
+from repro.optimizer import Optimizer
+from repro.storage import SystemParameters
+from repro.workloads import (
+    query4,
+    query5,
+    query6,
+    r_tables_stats_catalog,
+    trading_stats_catalog,
+)
+
+STRATEGIES = ["pyro", "pyro-o-", "pyro-p", "pyro-o", "pyro-e"]
+
+
+def _queries(tpch_paper_stats, query3):
+    trading = trading_stats_catalog()
+    return {
+        "Q3": (tpch_paper_stats, query3),
+        "Q4": (r_tables_stats_catalog(
+            params=SystemParameters(sort_memory_blocks=250)), query4()),
+        "Q5": (trading, query5()),
+        "Q6": (trading, query6()),
+    }
+
+
+@pytest.fixture(scope="module")
+def all_costs(tpch_paper_stats, query3):
+    table = {}
+    for qname, (cat, query) in _queries(tpch_paper_stats, query3).items():
+        costs = {}
+        for strategy in STRATEGIES:
+            opt = Optimizer(cat, strategy=strategy, enable_hash_join=False,
+                            enable_hash_aggregate=False)
+            # Phase-2 refinement is part of the paper's contribution: it
+            # runs in PYRO-O/PYRO-O−, not in the baseline strategies.
+            refine = strategy in ("pyro-o", "pyro-o-")
+            costs[strategy] = opt.optimize(query, refine=refine).total_cost
+        table[qname] = costs
+    return table
+
+
+def test_fig15_normalized_costs(benchmark, all_costs, tpch_paper_stats,
+                                query3, results_sink):
+    benchmark.pedantic(
+        lambda: Optimizer(tpch_paper_stats, strategy="pyro-o",
+                          enable_hash_join=False,
+                          enable_hash_aggregate=False).optimize(query3),
+        rounds=3, iterations=1)
+
+    rows = []
+    for qname, costs in all_costs.items():
+        norm = normalize(costs, "pyro-e")
+        rows.append([qname] + [round(norm[s], 1) for s in STRATEGIES])
+
+        # PYRO-E is the reference optimum; nothing may beat it.
+        for s in STRATEGIES:
+            assert costs["pyro-e"] <= costs[s] * (1 + 1e-9), (qname, s)
+        # The paper found PYRO-O optimal on all four queries.
+        assert norm["pyro-o"] <= 101.0, (qname, norm["pyro-o"])
+        # PYRO (arbitrary) is the clear loser.
+        assert norm["pyro"] >= 150.0, (qname, norm["pyro"])
+
+    # Q3/Q4: few attributes → the Postgres heuristic is close to optimal.
+    q3n = normalize(all_costs["Q3"], "pyro-e")
+    assert q3n["pyro-p"] <= 110.0
+    # Q5/Q6: arbitrary secondary orders hurt PYRO-P (paper's point).
+    q6n = normalize(all_costs["Q6"], "pyro-e")
+    assert q6n["pyro-p"] >= 150.0
+
+    results_sink(format_table(
+        ["query"] + STRATEGIES, rows,
+        title=("Figure 15 — Experiment B3: normalized estimated plan cost "
+               "(PYRO-E = 100)")))
+    benchmark.extra_info["fig15"] = {q: {s: round(v, 1) for s, v in
+                                         normalize(c, 'pyro-e').items()}
+                                     for q, c in all_costs.items()}
+
+
+def test_fig15_partial_sort_matters(all_costs, benchmark):
+    """PYRO-O vs PYRO-O−: partial sort enforcers are the larger share of
+    the benefit on Q3 (the covering indexes supply prefixes)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    q3 = all_costs["Q3"]
+    assert q3["pyro-o-"] >= q3["pyro-o"] * 1.5

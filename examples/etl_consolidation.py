@@ -1,0 +1,51 @@
+"""Example 1 from the paper: consolidating listings from two catalog
+sources (the motivating ETL scenario of Section 3).
+
+Shows the estimated-cost gap between a naive plan and the order-aware
+plan at the paper's full 2M-row scale (stats-only), then executes the
+optimized plan on a scaled-down materialised catalog.
+
+Run:  python examples/etl_consolidation.py
+"""
+
+from repro.engine import ExecutionContext
+from repro.optimizer import Optimizer
+from repro.workloads import (
+    consolidation_catalog,
+    consolidation_stats_catalog,
+    example1_query,
+)
+
+
+def main() -> None:
+    query = example1_query()
+    print("Example 1 (paper §3): four-attribute catalog join + rating join,")
+    print("ORDER BY seven columns.\n")
+
+    # --- optimizer study at the paper's scale (no data materialised) ----
+    stats_cat = consolidation_stats_catalog()
+    sort_only = dict(enable_hash_join=False, enable_hash_aggregate=False)
+    naive = Optimizer(stats_cat, strategy="pyro", refine=False,
+                      **sort_only).optimize(query)
+    aware = Optimizer(stats_cat, strategy="pyro-o", **sort_only).optimize(query)
+    print(f"Estimated cost, naive orders      : {naive.total_cost:12,.0f}")
+    print(f"Estimated cost, favorable orders  : {aware.total_cost:12,.0f}")
+    print(f"Improvement: {naive.total_cost / aware.total_cost:.2f}x "
+          f"(paper's Figures 1-2: 530,345 -> 290,410 = 1.83x)\n")
+    print("Order-aware plan at 2M rows:")
+    print(aware.explain())
+
+    # --- execution on scaled data ---------------------------------------
+    exec_cat = consolidation_catalog(scale=0.005)
+    plan = Optimizer(exec_cat, strategy="pyro-o").optimize(query)
+    ctx = ExecutionContext(exec_cat)
+    rows = plan.execute(exec_cat, ctx)
+    print(f"\nExecuted at 1/200 scale: {len(rows)} result rows, "
+          f"{ctx.io.total_blocks} block I/Os, "
+          f"{ctx.comparisons.value:,} comparisons.")
+    for row in rows[:3]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

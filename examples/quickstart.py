@@ -1,0 +1,85 @@
+"""Quickstart: build a catalog, write a query, optimize, execute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.sort_order import SortOrder
+from repro.engine import ExecutionContext
+from repro.expr import col
+from repro.expr.aggregates import agg_sum, count_star
+from repro.logical import Query
+from repro.optimizer import Optimizer
+from repro.storage import Catalog, Schema
+
+
+def build_catalog() -> Catalog:
+    """A tiny order-management schema, clustered + covered for sorting."""
+    catalog = Catalog()
+    orders = Schema.of(
+        ("o_id", "int", 8), ("o_customer", "int", 8),
+        ("o_region", "str", 12), ("o_total", "num", 8))
+    items = Schema.of(
+        ("i_order", "int", 8), ("i_product", "int", 8),
+        ("i_qty", "int", 8), ("i_price", "num", 8))
+
+    import random
+    rng = random.Random(2024)
+    order_rows = [(i, rng.randrange(200), f"region{rng.randrange(8)}",
+                   round(rng.uniform(10, 900), 2)) for i in range(5_000)]
+    item_rows = [(rng.randrange(5_000), rng.randrange(300),
+                  rng.randrange(1, 9), round(rng.uniform(1, 80), 2))
+                 for _ in range(20_000)]
+
+    catalog.create_table("orders", orders, rows=order_rows,
+                         clustering_order=SortOrder(["o_id"]),
+                         primary_key=["o_id"])
+    catalog.create_table("items", items, rows=item_rows,
+                         clustering_order=SortOrder(["i_order"]))
+    # A covering secondary index: delivers (i_order) order without
+    # touching the data pages — the paper's favorite trick.
+    catalog.create_index("items_order_cov", "items", SortOrder(["i_order"]),
+                         included=["i_product", "i_qty", "i_price"])
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+
+    # SELECT o_id, o_region, count(*), sum(i_qty * i_price)
+    # FROM orders JOIN items ON o_id = i_order
+    # GROUP BY o_id, o_region ORDER BY o_id, order_value
+    query = (Query.table("orders")
+             .join("items", on=[("o_id", "i_order")])
+             .compute(line_value=col("i_qty") * col("i_price"))
+             .group_by(["o_id", "o_region"],
+                       count_star("n_lines"),
+                       agg_sum(col("line_value"), "order_value"))
+             .order_by("o_id", "order_value"))
+
+    optimizer = Optimizer(catalog, strategy="pyro-o")
+    plan = optimizer.optimize(query)
+
+    print("Logical query:")
+    print(query.pretty())
+    print("\nChosen physical plan (estimated costs in I/O units):")
+    print(plan.explain())
+
+    ctx = ExecutionContext(catalog)
+    rows = plan.execute(catalog, ctx)
+    print(f"\nExecuted: {len(rows)} groups, "
+          f"{ctx.io.blocks_read + ctx.io.blocks_written} simulated block I/Os, "
+          f"{ctx.comparisons.value} key comparisons.")
+    print("First three rows:", rows[:3])
+
+    # The point of the paper: the final ORDER BY (o_id, order_value) is
+    # enforced by a *partial* sort (the aggregate already delivers o_id
+    # order); an optimizer without partial-sort enforcers re-sorts from
+    # scratch.
+    naive = Optimizer(catalog, strategy="pyro-o-",
+                      refine=False).optimize(query)
+    print(f"\nEstimated cost — with partial sort enforcers: "
+          f"{plan.total_cost:,.2f} vs without: {naive.total_cost:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: lets `pip install -e .` / `setup.py develop` work on
+environments whose setuptools predates PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Benchmark harness and reconstructed competitor plans."""
+
+from .baselines import (
+    postgres_default_q3,
+    pyro_o_q3,
+    pyro_o_q4,
+    sys1_default_q3,
+    sys1_merge_q3,
+    sys2_union_q4,
+    sys_default_q4,
+)
+from .harness import RunResult, format_table, measure, normalize, run_plan, speedup
+
+__all__ = [
+    "RunResult",
+    "format_table",
+    "measure",
+    "normalize",
+    "postgres_default_q3",
+    "pyro_o_q3",
+    "pyro_o_q4",
+    "run_plan",
+    "speedup",
+    "sys1_default_q3",
+    "sys1_merge_q3",
+    "sys2_union_q4",
+    "sys_default_q4",
+]

@@ -1,0 +1,133 @@
+"""The compared systems' plan shapes, reconstructed from the paper's figures.
+
+Each function returns a :class:`~repro.optimizer.plans.PhysicalPlan`
+encoding, operator by operator, the plan a competing system chose —
+costed and executable on our engine, so Figures 10–14 (plan shapes) and
+Figures 12–13 (runtimes) can be regenerated on one substrate.
+"""
+
+from __future__ import annotations
+
+from ..core.sort_order import SortOrder
+from ..expr import col
+from ..expr.aggregates import agg_sum
+from ..optimizer.manual import PlanBuilder
+from ..optimizer.plans import PhysicalPlan
+from ..storage.catalog import Catalog
+
+Q3_JOIN = [("ps_suppkey", "l_suppkey"), ("ps_partkey", "l_partkey")]
+Q3_JOIN_PK_FIRST = [("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")]
+Q3_GROUP = ["ps_suppkey", "ps_partkey", "ps_availqty"]
+Q3_AGGS = [agg_sum(col("l_quantity"), "sum_qty")]
+
+
+def _q3_inputs(builder: PlanBuilder):
+    ps = builder.covering_scan("partsupp", "ps_suppkey_cov")
+    li = builder.covering_scan("lineitem", "li_suppkey_cov3")
+    li = builder.filter(li, col("l_linestatus").eq("O"))
+    return ps, li
+
+
+def postgres_default_q3(catalog: Catalog) -> PhysicalPlan:
+    """Figure 10(a): PostgreSQL's default — full sorts to (partkey,
+    suppkey), merge join, then a *hash* aggregate and a final sort."""
+    b = PlanBuilder(catalog).equate(*Q3_JOIN)
+    ps, li = _q3_inputs(b)
+    ps = b.sort(ps, SortOrder(["ps_partkey", "ps_suppkey"]), full=True)
+    li = b.sort(li, SortOrder(["l_partkey", "l_suppkey"]), full=True)
+    join = b.merge_join(ps, li, Q3_JOIN_PK_FIRST, sort_inputs=False)
+    agg = b.hash_aggregate(join, Q3_GROUP, Q3_AGGS)
+    agg = b.filter(agg, col("sum_qty").gt(col("ps_availqty")))
+    return b.sort(agg, SortOrder(["ps_partkey"]), full=True)
+
+
+def pyro_o_q3(catalog: Catalog) -> PhysicalPlan:
+    """Figure 10(b): partial sorts (suppkey) → (suppkey, partkey) over
+    both covering indexes, merge join, streaming group aggregate, cheap
+    final sort on partkey."""
+    b = PlanBuilder(catalog).equate(*Q3_JOIN)
+    ps, li = _q3_inputs(b)
+    ps = b.sort(ps, SortOrder(["ps_suppkey", "ps_partkey"]))
+    li = b.sort(li, SortOrder(["l_suppkey", "l_partkey"]))
+    join = b.merge_join(ps, li, Q3_JOIN, sort_inputs=False)
+    agg = b.sort_aggregate(join, SortOrder(["ps_suppkey", "ps_partkey"]),
+                           Q3_AGGS, group_columns=Q3_GROUP)
+    agg = b.filter(agg, col("sum_qty").gt(col("ps_availqty")))
+    return b.sort(agg, SortOrder(["ps_partkey"]))
+
+
+def sys1_default_q3(catalog: Catalog) -> PhysicalPlan:
+    """Figure 11(a): SYS1's default — hash join (partsupp build), hash
+    aggregate, final sort."""
+    b = PlanBuilder(catalog).equate(*Q3_JOIN)
+    ps, li = _q3_inputs(b)
+    join = b.hash_join(ps, li, Q3_JOIN)
+    agg = b.hash_aggregate(join, Q3_GROUP, Q3_AGGS)
+    agg = b.filter(agg, col("sum_qty").gt(col("ps_availqty")))
+    return b.sort(agg, SortOrder(["ps_partkey"]), full=True)
+
+
+def sys1_merge_q3(catalog: Catalog) -> PhysicalPlan:
+    """Figure 11(b): forced merge join on (partkey, suppkey) — partsupp
+    delivered by its clustering index, lineitem fully sorted; group
+    aggregate; ORDER BY satisfied by the join order."""
+    b = PlanBuilder(catalog).equate(*Q3_JOIN)
+    ps = b.clustering_scan("partsupp")
+    li = b.covering_scan("lineitem", "li_suppkey_cov3")
+    li = b.filter(li, col("l_linestatus").eq("O"))
+    li = b.sort(li, SortOrder(["l_partkey", "l_suppkey"]), full=True)
+    join = b.merge_join(ps, li, Q3_JOIN_PK_FIRST, sort_inputs=False)
+    agg = b.sort_aggregate(join, SortOrder(["ps_partkey", "ps_suppkey"]),
+                           Q3_AGGS, group_columns=Q3_GROUP)
+    return b.filter(agg, col("sum_qty").gt(col("ps_availqty")))
+
+
+def sys_default_q4(catalog: Catalog) -> PhysicalPlan:
+    """Figure 14(a): SYS1/PostgreSQL — the two full outer joins use sort
+    orders with *no common prefix* ((c3,c4,c5) below, (c4,c5,c1) above),
+    so the upper join fully re-sorts its 100K-row input."""
+    b = PlanBuilder(catalog)
+    r1, r2, r3 = (b.table_scan(t) for t in ("r1", "r2", "r3"))
+    lower = b.merge_join(
+        r1, r2, [("r1_c3", "r2_c3"), ("r1_c4", "r2_c4"), ("r1_c5", "r2_c5")],
+        join_type="full")
+    upper = b.merge_join(
+        lower, r3,
+        [("r1_c4", "r3_c4"), ("r1_c5", "r3_c5"), ("r1_c1", "r3_c1")],
+        join_type="full")
+    return upper
+
+
+def pyro_o_q4(catalog: Catalog) -> PhysicalPlan:
+    """Figure 14(b): both joins share the (c4, c5) prefix, so the upper
+    join needs only a partial sort of the lower join's output."""
+    b = PlanBuilder(catalog)
+    r1, r2, r3 = (b.table_scan(t) for t in ("r1", "r2", "r3"))
+    lower = b.merge_join(
+        r1, r2, [("r1_c4", "r2_c4"), ("r1_c5", "r2_c5"), ("r1_c3", "r2_c3")],
+        join_type="full")
+    upper = b.merge_join(
+        lower, r3,
+        [("r1_c4", "r3_c4"), ("r1_c5", "r3_c5"), ("r1_c1", "r3_c1")],
+        join_type="full")
+    return upper
+
+
+def sys2_union_q4(catalog: Catalog) -> PhysicalPlan:
+    """SYS2's workaround (no native full outer join): a full outer join
+    expressed as the union of two left outer joins — with *different*
+    sort orders feeding the union's duplicate elimination, as the paper
+    observed ("making the union expensive").
+
+    This reconstructs only the lower FOJ of Query 4 (R1 ⋈ R2); the point
+    is the coordination failure, which already shows here.
+    """
+    b = PlanBuilder(catalog)
+    pairs = [("r1_c3", "r2_c3"), ("r1_c4", "r2_c4"), ("r1_c5", "r2_c5")]
+    left = b.merge_join(b.table_scan("r1"), b.table_scan("r2"), pairs,
+                        join_type="left")
+    flipped = [("r1_c4", "r2_c4"), ("r1_c5", "r2_c5"), ("r1_c3", "r2_c3")]
+    right = b.merge_join(b.table_scan("r1"), b.table_scan("r2"), flipped,
+                         join_type="left")
+    all_columns = SortOrder(left.schema.names)
+    return b.merge_union(left, right, all_columns)

@@ -1,0 +1,217 @@
+"""Favorable orders (Section 5.1).
+
+``ford(e)`` — the set of sort orders obtainable on ``e``'s result more
+cheaply than by a full sort — is defined through the *benefit*:
+
+    benefit(o, e) = cbp(e, ε) + coe(e, ε, o) − cbp(e, o)
+    ford(e)       = { o : benefit(o, e) > 0 }
+
+``ford-min(e)`` prunes orders reachable from a retained order by pure
+prefix extension/truncation at equal cost.  Both are defined here for
+completeness (and exercised in tests via the optimizer's ``cbp``), but —
+as the paper observes — computing them exactly requires optimizing the
+expression first.  The practical tool is :class:`FavorableOrders`,
+the bottom-up **approximate minimal favorable orders** ``afm(e)`` of
+Section 5.1.2, computed from the catalog in a single pass of the query
+tree with only longest-common-prefix work per node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..logical.algebra import (
+    Annotator,
+    BaseRelation,
+    Compute,
+    Distinct,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalExpr,
+    OrderBy,
+    Project,
+    Select,
+    Union,
+)
+from ..storage.catalog import Catalog
+from .sort_order import (
+    AttributeEquivalence,
+    EMPTY_ORDER,
+    SortOrder,
+    arbitrary_permutation,
+)
+
+#: Safety cap on |afm(e)| — the paper argues the set stays tiny in
+#: practice ("typically m ≤ 2"); the cap only guards degenerate catalogs.
+MAX_AFM_ORDERS = 16
+
+
+class FavorableOrders:
+    """Bottom-up ``afm`` computation with per-node memoisation."""
+
+    def __init__(self, catalog: Catalog, annotator: Annotator) -> None:
+        self.catalog = catalog
+        self.annotator = annotator
+        self.eq = annotator.eq
+        self._memo: dict[LogicalExpr, tuple[SortOrder, ...]] = {}
+
+    # -- public API -----------------------------------------------------------------
+    def afm(self, expr: LogicalExpr) -> tuple[SortOrder, ...]:
+        """Approximate minimal favorable orders of *expr*."""
+        cached = self._memo.get(expr)
+        if cached is None:
+            cached = self._dedupe(self._compute(expr))
+            self._memo[expr] = cached
+        return cached
+
+    def afm_on(self, expr: LogicalExpr, attr_set: Iterable[str]) -> tuple[SortOrder, ...]:
+        """``afm(e, s) = { o ∧ s : o ∈ afm(e) }`` — favorable orders
+        restricted to prefixes over *attr_set* (equivalence-aware)."""
+        attrs = list(attr_set)
+        restricted = [o.restrict_prefix_to(attrs, self.eq) for o in self.afm(expr)]
+        return self._dedupe(o for o in restricted if o)
+
+    # -- per-node rules (Section 5.1.2) ------------------------------------------------
+    def _compute(self, expr: LogicalExpr) -> list[SortOrder]:
+        if isinstance(expr, BaseRelation):
+            return self._base_relation(expr)
+        if isinstance(expr, (Select, Limit)):
+            return list(self.afm(expr.children[0]))
+        if isinstance(expr, Compute):
+            return list(self.afm(expr.child))
+        if isinstance(expr, Project):
+            return [o.restrict_prefix_to(expr.columns)
+                    for o in self.afm(expr.child)]
+        if isinstance(expr, Join):
+            return self._join(expr)
+        if isinstance(expr, GroupBy):
+            return self._flexible_single_input(
+                expr.child, list(expr.group_columns))
+        if isinstance(expr, Distinct):
+            schema = self.annotator.schema_of(expr)
+            return self._flexible_single_input(expr.child, list(schema.names))
+        if isinstance(expr, Union):
+            return self._union(expr)
+        if isinstance(expr, OrderBy):
+            return self._dedupe([expr.order, *self.afm(expr.child)])
+        raise TypeError(f"afm: unknown logical node {type(expr).__name__}")
+
+    def _base_relation(self, expr: BaseRelation) -> list[SortOrder]:
+        """Rule 1: the clustering order plus every covering index key."""
+        table = self.catalog.table(expr.table_name)
+        used = self.annotator.used_attrs(expr.table_name)
+        orders: list[SortOrder] = []
+        if table.clustering_order:
+            orders.append(table.clustering_order)
+        for index in self.catalog.indexes_of(expr.table_name):
+            if index.covers(used):
+                orders.append(index.key)
+        return orders
+
+    def _join(self, expr: Join) -> list[SortOrder]:
+        """Rule 4: input orders pass through (NL join propagates the
+        outer's order); additionally, each input favorable order's prefix
+        within the join attribute set is extended to a full permutation
+        (merge join propagates the chosen join order)."""
+        pairs = list(expr.predicate.pairs)
+        side_attrs = {c for pair in pairs for c in pair}
+        t = list(self.afm(expr.left)) + list(self.afm(expr.right))
+        result = list(t)
+        for o in [*t, EMPTY_ORDER]:
+            prefix = o.restrict_prefix_to(side_attrs, self.eq)
+            result.append(self._extend_over_pairs(prefix, pairs))
+        return result
+
+    def _extend_over_pairs(self, prefix: SortOrder,
+                           pairs: list[tuple[str, str]]) -> SortOrder:
+        """``(o' ∧ S) + ⟨S − attrs(o' ∧ S)⟩`` with S as canonical (left)
+        names, honouring equivalence between the two sides."""
+        remaining = []
+        for l, r in pairs:
+            covered = any(self.eq.same(a, l) or self.eq.same(a, r) for a in prefix)
+            if not covered:
+                remaining.append(l)
+        return prefix.concat(arbitrary_permutation(remaining))
+
+    def _flexible_single_input(self, child: LogicalExpr,
+                               columns: list[str]) -> list[SortOrder]:
+        """Rule 5 (GroupBy et al.): extend each input favorable order's
+        prefix over the grouping columns to a full permutation."""
+        result: list[SortOrder] = []
+        for o in [*self.afm(child), EMPTY_ORDER]:
+            prefix = o.restrict_prefix_to(columns, self.eq)
+            rest = [c for c in columns
+                    if not any(self.eq.same(c, a) for a in prefix)]
+            result.append(prefix.concat(arbitrary_permutation(rest)))
+        return result
+
+    def _union(self, expr: Union) -> list[SortOrder]:
+        left_schema = self.annotator.schema_of(expr.left)
+        right_schema = self.annotator.schema_of(expr.right)
+        rename = dict(zip(right_schema.names, left_schema.names))
+        t = list(self.afm(expr.left))
+        t += [o.translate(rename) for o in self.afm(expr.right)]
+        columns = list(left_schema.names)
+        result: list[SortOrder] = []
+        for o in [*t, EMPTY_ORDER]:
+            prefix = o.restrict_prefix_to(columns, self.eq)
+            rest = [c for c in columns if c not in prefix.attrs()]
+            result.append(prefix.concat(arbitrary_permutation(rest)))
+        return result
+
+    # -- helpers --------------------------------------------------------------------
+    @staticmethod
+    def _dedupe(orders: Iterable[SortOrder]) -> tuple[SortOrder, ...]:
+        seen: list[SortOrder] = []
+        for o in orders:
+            if o and o not in seen:
+                seen.append(o)
+        return tuple(seen[:MAX_AFM_ORDERS])
+
+
+def benefit(order: SortOrder, expr: LogicalExpr,
+            cbp: Callable[[LogicalExpr, SortOrder], float],
+            coe: Callable[[LogicalExpr, SortOrder, SortOrder], float]) -> float:
+    """Definition 5.1: ``benefit(o, e) = cbp(e, ε) + coe(e, ε, o) − cbp(e, o)``.
+
+    *cbp* and *coe* are injected (normally the optimizer's best-plan cost
+    and enforcement cost) so the definition stays independent of any one
+    optimizer instance; used by tests to validate afm's approximation.
+    """
+    return (cbp(expr, EMPTY_ORDER) + coe(expr, EMPTY_ORDER, order)
+            - cbp(expr, order))
+
+
+def ford_min(orders_with_costs: dict[SortOrder, float],
+             coe_from: Callable[[SortOrder, SortOrder], float]) -> set[SortOrder]:
+    """Exact ``ford-min`` over an explicitly enumerated ``ford`` set.
+
+    ``orders_with_costs`` maps each favorable order to ``cbp(e, o)``;
+    *coe_from(o1, o2)* is the enforcement cost between orders.  Applies
+    conditions (2) and (3) of Section 5.1.1: drop ``o`` when a prefix
+    reaches it at no extra cost (cond. 2), or when a retained extension
+    costs no more (cond. 3).  Exponential inputs are the caller's
+    responsibility — this is a specification-level artefact for tests
+    and small instances.
+    """
+    cost = orders_with_costs
+    # Longest first, so condition 3 can consult already-retained
+    # extensions when judging their prefixes.
+    ordering = sorted(cost, key=lambda o: (-len(o), cost[o]))
+    kept: set[SortOrder] = set()
+    for o in ordering:
+        covered = False
+        for o2 in cost:
+            if o2 == o:
+                continue
+            if o2.is_strict_prefix_of(o) and (
+                    cost[o2] + coe_from(o2, o) <= cost[o]):
+                covered = True  # condition 2
+                break
+            if o.is_strict_prefix_of(o2) and o2 in kept and cost[o2] <= cost[o]:
+                covered = True  # condition 3
+                break
+        if not covered:
+            kept.add(o)
+    return kept

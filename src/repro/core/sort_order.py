@@ -1,0 +1,302 @@
+"""Sort-order algebra (Section 3 of the paper).
+
+A *sort order* is a sequence of attribute names, e.g. ``(l_suppkey,
+l_partkey)``.  Following the paper we ignore sort direction
+(ascending/descending): every technique in the paper, and therefore in
+this library, is direction-agnostic.
+
+The paper's notation maps onto this module as follows:
+
+=====================  =====================================================
+Paper                  Here
+=====================  =====================================================
+``ε``                  :data:`EMPTY_ORDER`
+``attrs(o)``           :meth:`SortOrder.attrs`
+``|o|``                ``len(o)``
+``o1 ≤ o2``            :meth:`SortOrder.is_prefix_of`
+``o1 < o2``            :meth:`SortOrder.is_strict_prefix_of`
+``o1 ∧ o2``            :func:`longest_common_prefix`
+``o1 + o2``            :meth:`SortOrder.concat`
+``o1 − o2``            :meth:`SortOrder.minus`
+``o ∧ s``              :func:`prefix_in_set` (longest prefix within set *s*)
+``⟨s⟩``                :func:`arbitrary_permutation`
+``P(s)``               :func:`all_permutations`
+=====================  =====================================================
+
+Attribute equivalence
+---------------------
+The paper renames join attributes so that both sides of an equality
+predicate carry the same name ("w.l.g., we use the same name for
+attributes being compared from either side").  Real schemas use distinct
+qualified names (``ps_suppkey`` vs ``l_suppkey``), so every comparison in
+this module optionally accepts an :class:`AttributeEquivalence` — a
+union-find over attribute names built from the query's equality
+predicates — and treats equivalent attributes as equal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class AttributeEquivalence:
+    """Union-find over attribute names.
+
+    Join predicates such as ``ps_suppkey = l_suppkey`` make the two
+    attribute names interchangeable for the purposes of order matching.
+    An instance of this class records such equivalences and answers
+    ``same(a, b)`` queries in near-constant time.
+    """
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def _find(self, a: str) -> str:
+        parent = self._parent
+        if a not in parent:
+            return a
+        root = a
+        while parent.get(root, root) != root:
+            root = parent[root]
+        # Path compression.
+        while parent.get(a, a) != root:
+            parent[a], a = root, parent[a]
+        return root
+
+    def add_equivalence(self, a: str, b: str) -> None:
+        """Record that attributes *a* and *b* are interchangeable."""
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            # Deterministic union: smaller name becomes the root so that
+            # canonicalisation does not depend on insertion order.
+            lo, hi = sorted((ra, rb))
+            self._parent[hi] = lo
+            self._parent.setdefault(lo, lo)
+
+    def same(self, a: str, b: str) -> bool:
+        """Whether *a* and *b* denote the same (equivalence class of) attribute."""
+        return a == b or self._find(a) == self._find(b)
+
+    def canonical(self, a: str) -> str:
+        """Canonical representative of *a*'s equivalence class."""
+        return self._find(a)
+
+    def classmates(self, a: str, universe: Iterable[str]) -> list[str]:
+        """All attributes in *universe* equivalent to *a* (including *a* itself)."""
+        return [b for b in universe if self.same(a, b)]
+
+    def copy(self) -> "AttributeEquivalence":
+        clone = AttributeEquivalence()
+        clone._parent = dict(self._parent)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        classes: dict[str, list[str]] = {}
+        for a in self._parent:
+            classes.setdefault(self._find(a), []).append(a)
+        return f"AttributeEquivalence({classes})"
+
+
+def _same(a: str, b: str, eq: Optional[AttributeEquivalence]) -> bool:
+    if a == b:
+        return True
+    return eq is not None and eq.same(a, b)
+
+
+class SortOrder:
+    """An immutable sequence of attribute names denoting a sort order.
+
+    ``SortOrder()`` is the empty order ``ε``.  Instances behave like
+    read-only tuples of strings and are hashable, so they can key memo
+    tables in the optimizer.
+    """
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attrs: Iterable[str] = ()) -> None:
+        attrs = tuple(attrs)
+        for a in attrs:
+            if not isinstance(a, str) or not a:
+                raise TypeError(f"sort order attributes must be non-empty strings, got {a!r}")
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attribute in sort order {attrs!r}")
+        self._attrs = attrs
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __getitem__(self, idx):
+        result = self._attrs[idx]
+        return SortOrder(result) if isinstance(idx, slice) else result
+
+    def __bool__(self) -> bool:
+        return bool(self._attrs)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SortOrder) and self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return hash(("SortOrder", self._attrs))
+
+    def __repr__(self) -> str:
+        return f"SortOrder({', '.join(self._attrs)})" if self._attrs else "SortOrder(ε)"
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self._attrs) + ")" if self._attrs else "ε"
+
+    # -- paper operators ----------------------------------------------------------
+    @property
+    def as_tuple(self) -> tuple[str, ...]:
+        return self._attrs
+
+    def attrs(self) -> frozenset[str]:
+        """``attrs(o)``: the set of attributes in the order."""
+        return frozenset(self._attrs)
+
+    def is_empty(self) -> bool:
+        return not self._attrs
+
+    def is_prefix_of(self, other: "SortOrder", eq: Optional[AttributeEquivalence] = None) -> bool:
+        """``self ≤ other``: *other* subsumes *self* (*self* is a prefix)."""
+        if len(self) > len(other):
+            return False
+        return all(_same(a, b, eq) for a, b in zip(self._attrs, other._attrs))
+
+    def is_strict_prefix_of(
+        self, other: "SortOrder", eq: Optional[AttributeEquivalence] = None
+    ) -> bool:
+        """``self < other``: proper-prefix test."""
+        return len(self) < len(other) and self.is_prefix_of(other, eq)
+
+    def satisfies(self, required: "SortOrder", eq: Optional[AttributeEquivalence] = None) -> bool:
+        """Whether a stream sorted by ``self`` meets requirement *required*.
+
+        A guaranteed order satisfies a requirement iff the requirement is a
+        prefix of the guarantee (sorting by ``(a, b, c)`` implies sorting by
+        ``(a, b)``).
+        """
+        return required.is_prefix_of(self, eq)
+
+    def concat(self, other: "SortOrder") -> "SortOrder":
+        """``o1 + o2``: concatenation, skipping attributes already present."""
+        seen = set(self._attrs)
+        extra = tuple(a for a in other._attrs if a not in seen)
+        return SortOrder(self._attrs + extra)
+
+    def __add__(self, other: "SortOrder") -> "SortOrder":
+        return self.concat(other)
+
+    def minus(self, prefix: "SortOrder", eq: Optional[AttributeEquivalence] = None) -> "SortOrder":
+        """``o1 − o2``: the suffix such that ``prefix + suffix == self``.
+
+        Defined only when *prefix* ``≤`` *self*; raises :class:`ValueError`
+        otherwise, mirroring the partial definition in the paper.
+        """
+        if not prefix.is_prefix_of(self, eq):
+            raise ValueError(f"{prefix} is not a prefix of {self}")
+        return SortOrder(self._attrs[len(prefix):])
+
+    def restrict_prefix_to(self, attr_set: Iterable[str],
+                           eq: Optional[AttributeEquivalence] = None) -> "SortOrder":
+        """``o ∧ s``: longest prefix of ``self`` whose attributes all lie in *attr_set*.
+
+        With an equivalence relation, membership is tested modulo
+        equivalence classes (an order on ``l_suppkey`` counts as an order on
+        ``ps_suppkey`` when the two are joined by equality).
+        """
+        attr_set = set(attr_set)
+        prefix: list[str] = []
+        for a in self._attrs:
+            if a in attr_set or (eq is not None and any(eq.same(a, s) for s in attr_set)):
+                prefix.append(a)
+            else:
+                break
+        return SortOrder(prefix)
+
+    def translate(self, mapping: dict[str, str]) -> "SortOrder":
+        """Rename attributes through *mapping* (identity for absent keys)."""
+        return SortOrder(tuple(mapping.get(a, a) for a in self._attrs))
+
+    def project_onto(self, attr_set: Iterable[str],
+                     eq: Optional[AttributeEquivalence] = None) -> "SortOrder":
+        """Rewrite each attribute into a member of *attr_set* via *eq*.
+
+        Returns the longest prefix of ``self`` rewritable into *attr_set*;
+        used to express a guaranteed order in terms of another operator's
+        column names.
+        """
+        attr_list = list(attr_set)
+        out: list[str] = []
+        for a in self._attrs:
+            if a in attr_list:
+                out.append(a)
+                continue
+            if eq is not None:
+                mate = next((s for s in attr_list if eq.same(a, s)), None)
+                if mate is not None:
+                    out.append(mate)
+                    continue
+            break
+        return SortOrder(out)
+
+
+#: The empty sort order ``ε``.
+EMPTY_ORDER = SortOrder()
+
+
+def longest_common_prefix(o1: SortOrder, o2: SortOrder,
+                          eq: Optional[AttributeEquivalence] = None) -> SortOrder:
+    """``o1 ∧ o2``: the longest common prefix of two orders."""
+    prefix: list[str] = []
+    for a, b in zip(o1, o2):
+        if _same(a, b, eq):
+            prefix.append(a)
+        else:
+            break
+    return SortOrder(prefix)
+
+
+def prefix_in_set(order: SortOrder, attr_set: Iterable[str],
+                  eq: Optional[AttributeEquivalence] = None) -> SortOrder:
+    """``o ∧ s``: module-level alias of :meth:`SortOrder.restrict_prefix_to`."""
+    return order.restrict_prefix_to(attr_set, eq)
+
+
+def arbitrary_permutation(attr_set: Iterable[str]) -> SortOrder:
+    """``⟨s⟩``: a deterministic "arbitrary" permutation of an attribute set.
+
+    The paper leaves the choice free; for reproducibility we use the
+    lexicographically smallest permutation.
+    """
+    return SortOrder(tuple(sorted(set(attr_set))))
+
+
+def all_permutations(attr_set: Iterable[str]) -> list[SortOrder]:
+    """``P(s)``: every permutation of *attr_set* (factorial — small sets only)."""
+    return [SortOrder(p) for p in itertools.permutations(sorted(set(attr_set)))]
+
+
+def extend_to_set(order: SortOrder, attr_set: Iterable[str]) -> SortOrder:
+    """Extend *order* with an arbitrary permutation of the attributes of
+    *attr_set* it does not already contain (the ``o' + ⟨S − attrs(o')⟩``
+    construction used throughout Section 5)."""
+    remaining = set(attr_set) - order.attrs()
+    return order.concat(arbitrary_permutation(remaining))
+
+
+def order_key(rows_schema_positions: Sequence[int]):
+    """Build a tuple-extraction key function for sorting rows (tuples) by the
+    given column positions.  Shared by the executor and tests."""
+    positions = tuple(rows_schema_positions)
+
+    def key(row: tuple) -> tuple:
+        return tuple(row[i] for i in positions)
+
+    return key

@@ -1,0 +1,194 @@
+"""2-approximation for sort orders on a binary tree (Section 4.2, Fig. 5).
+
+Problem 1 on general binary trees is NP-hard (Theorem 4.1); the paper's
+approximation splits the tree's edges by level parity:
+
+* ``P_odd`` — edges whose lower endpoint is at odd depth,
+* ``P_even`` — edges whose lower endpoint is at even depth.
+
+Within one parity class every node is incident to either its parent edge
+or its child edges (never both), so the classes decompose into vertex-
+disjoint *paths*, each solvable exactly by the :func:`~repro.core.path_order.path_order`
+DP.  Because the optimum's benefit splits across the two classes,
+``max(ben(S_odd), ben(S_even)) ≥ OPT/2``.
+
+The module also provides a brute-force exact solver for small instances
+(tests verify the ½ bound empirically) and the benefit evaluator used by
+phase-2 plan refinement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from .path_order import path_order
+from .sort_order import SortOrder, arbitrary_permutation, longest_common_prefix
+
+
+@dataclass
+class OrderTreeNode:
+    """A node of an order-selection instance (e.g. one merge-join).
+
+    ``attrs`` is the attribute set to permute (the join attribute set, or
+    the free attributes during phase-2 refinement).  ``payload`` lets
+    callers attach the plan node being refined.
+    """
+
+    node_id: int
+    attrs: frozenset[str]
+    children: list["OrderTreeNode"] = field(default_factory=list)
+    payload: object = None
+
+    def add_child(self, child: "OrderTreeNode") -> "OrderTreeNode":
+        if len(self.children) >= 2:
+            raise ValueError("order tree is binary")
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["OrderTreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def edges(self) -> Iterator[tuple["OrderTreeNode", "OrderTreeNode"]]:
+        for child in self.children:
+            yield (self, child)
+            yield from child.edges()
+
+
+def build_tree(spec, _counter: Optional[list[int]] = None) -> OrderTreeNode:
+    """Build an :class:`OrderTreeNode` tree from a nested spec.
+
+    Spec grammar: ``(attrs, child_spec, child_spec)`` /
+    ``(attrs, child_spec)`` / ``attrs`` where *attrs* is any iterable of
+    attribute names.  Example::
+
+        build_tree(({"a","b"}, {"a","c"}, ({"b"}, {"b","d"})))
+    """
+    counter = _counter if _counter is not None else [0]
+
+    def is_spec(x) -> bool:
+        return (isinstance(x, tuple) and len(x) in (2, 3)
+                and not all(isinstance(e, str) for e in x))
+
+    if is_spec(spec):
+        attrs, *children = spec
+        node = OrderTreeNode(counter[0], frozenset(attrs))
+        counter[0] += 1
+        for child_spec in children:
+            node.add_child(build_tree(child_spec, counter))
+        return node
+    node = OrderTreeNode(counter[0], frozenset(spec))
+    counter[0] += 1
+    return node
+
+
+def tree_benefit(root: OrderTreeNode,
+                 assignment: Dict[int, SortOrder]) -> int:
+    """Problem 1 objective: Σ over tree edges of |lcp(p_parent, p_child)|."""
+    total = 0
+    for parent, child in root.edges():
+        total += len(longest_common_prefix(assignment[parent.node_id],
+                                           assignment[child.node_id]))
+    return total
+
+
+@dataclass(frozen=True)
+class TreeApproxResult:
+    assignment: Dict[int, SortOrder]
+    benefit: int
+    chosen_parity: str
+    odd_benefit: int
+    even_benefit: int
+
+
+def _parity_paths(root: OrderTreeNode, parity: int) -> list[list[OrderTreeNode]]:
+    """Decompose the chosen parity class of edges into node paths.
+
+    Each component is ``child1 — parent — child2`` (or a single edge):
+    a node keeps either its parent edge or its child edges in one class,
+    so walking from each even/odd "center" suffices.
+    """
+    depths: Dict[int, int] = {root.node_id: 0}
+    for parent, child in root.edges():
+        depths[child.node_id] = depths[parent.node_id] + 1
+
+    adjacency: Dict[int, list[OrderTreeNode]] = {}
+    nodes: Dict[int, OrderTreeNode] = {n.node_id: n for n in root.walk()}
+    selected: list[tuple[OrderTreeNode, OrderTreeNode]] = []
+    for parent, child in root.edges():
+        if depths[child.node_id] % 2 == parity:
+            selected.append((parent, child))
+            adjacency.setdefault(parent.node_id, []).append(child)
+            adjacency.setdefault(child.node_id, []).append(parent)
+
+    paths: list[list[OrderTreeNode]] = []
+    visited: set[int] = set()
+    for node_id, neighbours in adjacency.items():
+        if node_id in visited or len(neighbours) > 1:
+            continue
+        # Endpoint of a path: walk to the other end.
+        path = [nodes[node_id]]
+        visited.add(node_id)
+        current = node_id
+        while True:
+            nxt = [n for n in adjacency[current] if n.node_id not in visited]
+            if not nxt:
+                break
+            path.append(nxt[0])
+            visited.add(nxt[0].node_id)
+            current = nxt[0].node_id
+        paths.append(path)
+    return paths
+
+
+def approximate_tree_orders(root: OrderTreeNode) -> TreeApproxResult:
+    """The paper's 2-approximation: solve odd- and even-level path sets
+    exactly, keep the better, fill uncovered nodes arbitrarily."""
+    solutions: dict[int, tuple[int, Dict[int, SortOrder]]] = {}
+    for parity in (0, 1):
+        assignment: Dict[int, SortOrder] = {}
+        total = 0
+        for path in _parity_paths(root, parity):
+            result = path_order([n.attrs for n in path])
+            total += result.benefit
+            for node, perm in zip(path, result.permutations):
+                assignment[node.node_id] = perm
+        solutions[parity] = (total, assignment)
+
+    even_benefit, odd_benefit = solutions[0][0], solutions[1][0]
+    parity = 1 if odd_benefit >= even_benefit else 0
+    _, assignment = solutions[parity]
+    for node in root.walk():
+        if node.node_id not in assignment:
+            assignment[node.node_id] = arbitrary_permutation(node.attrs)
+    return TreeApproxResult(
+        assignment=assignment,
+        benefit=tree_benefit(root, assignment),
+        chosen_parity="odd" if parity == 1 else "even",
+        odd_benefit=odd_benefit,
+        even_benefit=even_benefit,
+    )
+
+
+def brute_force_tree_orders(root: OrderTreeNode,
+                            limit: int = 2_000_000) -> TreeApproxResult:
+    """Exact optimum by exhaustive enumeration (small instances only)."""
+    nodes = list(root.walk())
+    perm_lists = [list(itertools.permutations(sorted(n.attrs))) for n in nodes]
+    size = 1
+    for pl in perm_lists:
+        size *= max(1, len(pl))
+        if size > limit:
+            raise ValueError(f"instance too large for brute force ({size}+ combos)")
+
+    best_val = -1
+    best_assignment: Dict[int, SortOrder] = {}
+    for combo in itertools.product(*perm_lists):
+        assignment = {n.node_id: SortOrder(p) for n, p in zip(nodes, combo)}
+        val = tree_benefit(root, assignment)
+        if val > best_val:
+            best_val, best_assignment = val, assignment
+    return TreeApproxResult(best_assignment, best_val, "exact", -1, -1)

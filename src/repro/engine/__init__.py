@@ -1,0 +1,52 @@
+"""Volcano-style execution engine with simulated block I/O."""
+
+from .aggregates import HashAggregate, SortAggregate
+from .basic import Compute, Filter, Limit, PartialSort, Project, Sort, TopK
+from .context import (
+    ComparisonCounter,
+    CountedKey,
+    ExecutionContext,
+    IOAccountant,
+    SortMetrics,
+)
+from .iterators import Operator, key_function, null_safe_wrap
+from .joins import HashJoin, MergeJoin, NestedLoopsJoin
+from .lowering import operators_from_plan
+from .scans import ClusteringIndexScan, CoveringIndexScan, RowSource, TableScan
+from .sets import Dedup, HashDedup, MergeUnion, UnionAll
+from .sorting import mrs_sort, sort_stream, srs_sort
+
+__all__ = [
+    "ClusteringIndexScan",
+    "ComparisonCounter",
+    "Compute",
+    "CountedKey",
+    "CoveringIndexScan",
+    "Dedup",
+    "ExecutionContext",
+    "Filter",
+    "HashAggregate",
+    "HashDedup",
+    "HashJoin",
+    "IOAccountant",
+    "Limit",
+    "MergeJoin",
+    "MergeUnion",
+    "NestedLoopsJoin",
+    "Operator",
+    "PartialSort",
+    "Project",
+    "RowSource",
+    "Sort",
+    "SortAggregate",
+    "SortMetrics",
+    "TableScan",
+    "TopK",
+    "UnionAll",
+    "key_function",
+    "mrs_sort",
+    "null_safe_wrap",
+    "operators_from_plan",
+    "sort_stream",
+    "srs_sort",
+]

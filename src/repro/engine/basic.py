@@ -1,0 +1,205 @@
+"""Row-at-a-time operators: filter, project, compute, sort enforcers, limit.
+
+``Sort`` is the order *enforcer* of the paper: it knows both the target
+order and the order already guaranteed by its input, and picks MRS
+(partial sort) whenever a non-empty prefix is available — unless
+explicitly forced to behave like the standard engines of Experiment A1
+(``algorithm="srs"``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional, Sequence
+
+from ..core.sort_order import EMPTY_ORDER, SortOrder, longest_common_prefix
+from ..expr.expressions import Expression, Predicate
+from ..storage.schema import Column, Schema
+from .context import CountedKey, ExecutionContext
+from .iterators import Operator, key_function
+from .sorting import sort_stream
+
+
+class Filter(Operator):
+    """σ: keep rows satisfying a predicate; preserves input order."""
+
+    name = "Filter"
+
+    def __init__(self, child: Operator, predicate: Predicate) -> None:
+        if not child.schema.has_all(predicate.columns()):
+            missing = set(predicate.columns()) - set(child.schema.names)
+            raise ValueError(f"filter references missing columns {missing}")
+        super().__init__(child.schema, child.output_order, [child])
+        self.predicate = predicate
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        test = self.predicate.compile(self.schema)
+        return (row for row in self.children[0].execute(ctx) if test(row))
+
+    def details(self) -> str:
+        return repr(self.predicate)
+
+
+class Project(Operator):
+    """π: positional projection to a subset of columns.
+
+    The guaranteed output order is the longest prefix of the input order
+    that survives the projection.
+    """
+
+    name = "Project"
+
+    def __init__(self, child: Operator, columns: Sequence[str]) -> None:
+        schema = child.schema.project(list(columns))
+        kept = set(columns)
+        order = child.output_order.restrict_prefix_to(kept)
+        super().__init__(schema, order, [child])
+        self._positions = child.schema.positions(list(columns))
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        positions = self._positions
+        return (tuple(row[i] for i in positions)
+                for row in self.children[0].execute(ctx))
+
+    def details(self) -> str:
+        return ", ".join(self.schema.names)
+
+
+class Compute(Operator):
+    """Extend each row with computed expressions (e.g. Quantity*Price).
+
+    Appends one column per ``(name, expression)`` pair; preserves order.
+    """
+
+    name = "Compute"
+
+    def __init__(self, child: Operator, outputs: Sequence[tuple[str, Expression]],
+                 output_size: int = 8) -> None:
+        new_cols = [Column(name, "num", output_size) for name, _ in outputs]
+        schema = Schema(list(child.schema) + new_cols)
+        super().__init__(schema, child.output_order, [child])
+        self.outputs = list(outputs)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        fns = [expr.compile(self.children[0].schema) for _, expr in self.outputs]
+        for row in self.children[0].execute(ctx):
+            yield row + tuple(fn(row) for fn in fns)
+
+    def details(self) -> str:
+        return ", ".join(f"{name}={expr}" for name, expr in self.outputs)
+
+
+class Sort(Operator):
+    """Order enforcer: SRS full sort or MRS partial sort.
+
+    ``known_prefix`` defaults to the usable prefix of the child's
+    guaranteed order — the paper's partial sort enforcer ``o' → o``.
+    """
+
+    name = "Sort"
+
+    def __init__(self, child: Operator, target_order: SortOrder,
+                 known_prefix: Optional[SortOrder] = None,
+                 algorithm: str = "auto") -> None:
+        if not child.schema.has_all(list(target_order)):
+            missing = set(target_order) - set(child.schema.names)
+            raise ValueError(f"sort references missing columns {missing}")
+        if known_prefix is None:
+            known_prefix = longest_common_prefix(child.output_order, target_order)
+        super().__init__(child.schema, target_order, [child])
+        self.known_prefix = known_prefix
+        self.algorithm = algorithm
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        child = self.children[0]
+        rows = child.execute(ctx)
+        if ctx.check_orders and self.known_prefix:
+            rows = self._check_input_prefix(rows, ctx)
+        out = sort_stream(rows, self.schema, self.output_order, ctx,
+                          known_prefix=self.known_prefix, algorithm=self.algorithm)
+        return self._maybe_checked(out, ctx, self.output_order, "Sort output")
+
+    def _check_input_prefix(self, rows: Iterator[tuple],
+                            ctx: ExecutionContext) -> Iterator[tuple]:
+        positions = self.schema.positions(list(self.known_prefix))
+        prev: Optional[tuple] = None
+        for row in rows:
+            key = tuple(row[i] for i in positions)
+            if prev is not None and key < prev:
+                raise AssertionError(
+                    f"Sort: input violates declared prefix {self.known_prefix}: "
+                    f"{key} after {prev}")
+            prev = key
+            yield row
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.known_prefix) and self.algorithm != "srs"
+
+    def details(self) -> str:
+        if self.is_partial:
+            return f"{self.known_prefix} --> {self.output_order}"
+        return f"ε --> {self.output_order}"
+
+    def explain_name(self) -> str:  # pragma: no cover - cosmetic
+        return "PartialSort" if self.is_partial else "Sort"
+
+
+class PartialSort(Sort):
+    """Alias emphasising a partial sort enforcer in explain output."""
+
+    name = "PartialSort"
+
+    def __init__(self, child: Operator, target_order: SortOrder,
+                 known_prefix: Optional[SortOrder] = None) -> None:
+        super().__init__(child, target_order, known_prefix, algorithm="mrs")
+
+
+class Limit(Operator):
+    """Pass through the first *k* rows (ORDER BY ... LIMIT k on sorted input)."""
+
+    name = "Limit"
+
+    def __init__(self, child: Operator, k: int) -> None:
+        if k < 0:
+            raise ValueError("limit must be non-negative")
+        super().__init__(child.schema, child.output_order, [child])
+        self.k = k
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        it = self.children[0].execute(ctx)
+        for i, row in enumerate(it):
+            if i >= self.k:
+                break
+            yield row
+
+    def details(self) -> str:
+        return f"k={self.k}"
+
+
+class TopK(Operator):
+    """Heap-based top-k by an order, for *unsorted* input.
+
+    Keeps a bounded heap of k rows; used as the baseline against the
+    MRS + Limit pipeline in the Top-K example (paper §3.1 benefit 2).
+    """
+
+    name = "TopK"
+
+    def __init__(self, child: Operator, k: int, order: SortOrder) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        super().__init__(child.schema, order, [child])
+        self.k = k
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        key_fn = key_function(self.schema, self.output_order)
+        counter = ctx.comparisons
+        # nsmallest with counted keys tallies its comparisons.
+        rows = heapq.nsmallest(
+            self.k, self.children[0].execute(ctx),
+            key=lambda r: CountedKey(key_fn(r), counter))
+        return iter(rows)
+
+    def details(self) -> str:
+        return f"k={self.k} by {self.output_order}"

@@ -1,0 +1,182 @@
+"""Execution context: simulated block I/O accounting + CPU metering.
+
+The paper evaluates everything in *I/O cost units* ("CPU cost is
+appropriately translated into I/O cost units").  Our substrate holds all
+data in RAM but charges every block transfer to an
+:class:`IOAccountant`, and counts key comparisons, so experiments can
+report a deterministic simulated cost alongside wall-clock time.
+
+``ExecutionContext.cost_units()`` is the single number used by the
+benchmark harness:  ``blocks_read + blocks_written +
+comparisons / cpu_comparisons_per_io``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, TYPE_CHECKING
+
+from ..storage.catalog import Catalog, SystemParameters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.schema import Schema
+
+
+class ComparisonCounter:
+    """A mutable comparison tally shared by sort keys.
+
+    Kept as its own tiny object (not an int attribute) so that the
+    :class:`CountedKey` wrapper can bump it without holding a reference
+    to the whole context.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class CountedKey:
+    """A sort key wrapper whose comparisons are tallied.
+
+    Used by both external-sort variants so the "reduced number of
+    comparisons" effect of MRS (Section 3.1, benefit 3) is directly
+    measurable.
+    """
+
+    __slots__ = ("key", "counter")
+
+    def __init__(self, key: tuple, counter: ComparisonCounter) -> None:
+        self.key = key
+        self.counter = counter
+
+    def __lt__(self, other: "CountedKey") -> bool:
+        self.counter.value += 1
+        return self.key < other.key
+
+    def __le__(self, other: "CountedKey") -> bool:
+        self.counter.value += 1
+        return self.key <= other.key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountedKey):
+            return NotImplemented
+        self.counter.value += 1
+        return self.key == other.key
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are not hashed in sorts
+        return hash(self.key)
+
+
+@dataclass
+class IOAccountant:
+    """Tally of simulated block transfers, split by purpose."""
+
+    blocks_read: int = 0
+    blocks_written: int = 0
+    scan_blocks: int = 0
+    run_blocks_written: int = 0
+    run_blocks_read: int = 0
+    partition_blocks: int = 0
+
+    def read(self, blocks: int, *, category: str = "scan") -> None:
+        if blocks < 0:
+            raise ValueError("negative block count")
+        self.blocks_read += blocks
+        if category == "scan":
+            self.scan_blocks += blocks
+        elif category == "run":
+            self.run_blocks_read += blocks
+        elif category == "partition":
+            self.partition_blocks += blocks
+
+    def write(self, blocks: int, *, category: str = "run") -> None:
+        if blocks < 0:
+            raise ValueError("negative block count")
+        self.blocks_written += blocks
+        if category == "run":
+            self.run_blocks_written += blocks
+        elif category == "partition":
+            self.partition_blocks += blocks
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks_read + self.blocks_written
+
+    def snapshot(self) -> "IOAccountant":
+        return IOAccountant(
+            self.blocks_read, self.blocks_written, self.scan_blocks,
+            self.run_blocks_written, self.run_blocks_read, self.partition_blocks,
+        )
+
+
+@dataclass
+class SortMetrics:
+    """Per-execution sort statistics surfaced by Experiments A1–A4."""
+
+    runs_created: int = 0
+    segments_sorted: int = 0
+    rows_spilled: int = 0
+    merge_passes: int = 0
+    in_memory_sorts: int = 0
+
+
+class ExecutionContext:
+    """Everything an operator needs at run time."""
+
+    def __init__(self, catalog: Optional[Catalog] = None,
+                 params: Optional[SystemParameters] = None,
+                 check_orders: bool = False) -> None:
+        self.catalog = catalog
+        self.params = params or (catalog.params if catalog else SystemParameters())
+        self.io = IOAccountant()
+        self.comparisons = ComparisonCounter()
+        self.sort_metrics = SortMetrics()
+        #: When true, order-requiring operators verify their inputs are
+        #: actually sorted (used heavily in tests; off in benchmarks).
+        self.check_orders = check_orders
+
+    # -- derived ---------------------------------------------------------------------
+    def cost_units(self) -> float:
+        """Simulated cost in the paper's I/O units."""
+        cpu = self.comparisons.value / self.params.cpu_comparisons_per_io
+        return self.io.total_blocks + cpu
+
+    def rows_per_block(self, row_bytes: int) -> int:
+        return max(1, self.params.block_size // max(1, row_bytes))
+
+    def memory_capacity_rows(self, row_bytes: int) -> int:
+        """How many rows of the given width fit in sort memory."""
+        return max(2, self.params.sort_memory_bytes // max(1, row_bytes))
+
+    def charge_blocks_for_rows(self, num_rows: int, row_bytes: int,
+                               direction: str = "read", category: str = "scan") -> int:
+        blocks = math.ceil(num_rows * row_bytes / self.params.block_size) if num_rows else 0
+        if direction == "read":
+            self.io.read(blocks, category=category)
+        else:
+            self.io.write(blocks, category=category)
+        return blocks
+
+    def charged_stream(self, rows: Iterable[tuple], row_bytes: int,
+                       category: str = "scan") -> Iterator[tuple]:
+        """Yield rows, charging one block read per block's worth of rows.
+
+        Progressive charging (rather than a lump sum at open time) keeps
+        the tuples-vs-cost timeline of Experiment A2 honest: an operator
+        that stops early stops paying.
+        """
+        per_block = self.rows_per_block(row_bytes)
+        for i, row in enumerate(rows):
+            if i % per_block == 0:
+                self.io.read(1, category=category)
+            yield row
+
+    def reset(self) -> None:
+        self.io = IOAccountant()
+        self.comparisons = ComparisonCounter()
+        self.sort_metrics = SortMetrics()

@@ -1,0 +1,105 @@
+"""Physical operator base class (Volcano iterator model).
+
+Every operator exposes:
+
+* ``schema`` — output :class:`~repro.storage.schema.Schema`;
+* ``output_order`` — the :class:`~repro.core.sort_order.SortOrder`
+  *guaranteed* on its output stream;
+* ``execute(ctx)`` — a generator of row tuples, charging simulated I/O
+  and comparisons to the :class:`~repro.engine.context.ExecutionContext`;
+* ``explain()`` — a pretty-printed plan tree like the paper's figures.
+
+Operators are *plans*, not live cursors: ``execute`` may be called
+repeatedly (each call is an independent execution), which the benchmark
+harness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from ..storage.schema import Schema
+from .context import ExecutionContext
+
+
+class Operator:
+    """Base class of all physical operators."""
+
+    name: str = "operator"
+
+    def __init__(self, schema: Schema, output_order: SortOrder = EMPTY_ORDER,
+                 children: Sequence["Operator"] = ()) -> None:
+        self.schema = schema
+        self.output_order = output_order
+        self.children: tuple[Operator, ...] = tuple(children)
+
+    # -- execution ---------------------------------------------------------------
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def run(self, ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        """Execute fully and collect the result (convenience for tests)."""
+        ctx = ctx or ExecutionContext()
+        return list(self.execute(ctx))
+
+    # -- order verification --------------------------------------------------------
+    def _maybe_checked(self, rows: Iterator[tuple], ctx: ExecutionContext,
+                       order: SortOrder, what: str) -> Iterator[tuple]:
+        """Wrap *rows* with a runtime sortedness assertion when enabled."""
+        if not ctx.check_orders or not order or not self.schema.has_all(list(order)):
+            return rows
+        positions = self.schema.positions(list(order))
+        return _assert_sorted(rows, positions, what)
+
+    # -- introspection ---------------------------------------------------------------
+    def details(self) -> str:
+        """One-line operator-specific annotation for ``explain``."""
+        return ""
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        extra = self.details()
+        order = f" [order: {self.output_order}]" if self.output_order else ""
+        line = f"{pad}{self.name}{f' ({extra})' if extra else ''}{order}"
+        parts = [line]
+        parts.extend(child.explain(indent + 1) for child in self.children)
+        return "\n".join(parts)
+
+    def walk(self) -> Iterator["Operator"]:
+        """Pre-order traversal of the operator tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.details()})"
+
+
+def _assert_sorted(rows: Iterator[tuple], positions: Sequence[int],
+                   what: str) -> Iterator[tuple]:
+    prev: Optional[tuple] = None
+    for row in rows:
+        key = null_safe_wrap(tuple(row[i] for i in positions))
+        if prev is not None and key < prev:
+            raise AssertionError(
+                f"{what}: stream not sorted — saw {key} after {prev}")
+        prev = key
+        yield row
+
+
+def null_safe_wrap(values: tuple) -> tuple:
+    """Make a key tuple totally ordered in the presence of SQL NULLs.
+
+    Each element becomes ``(present, value)`` with NULL mapped to
+    ``(False, 0)``, so NULLs sort first and never raise ``TypeError``
+    against non-NULL values.  Needed because outer-join outputs (Query 4)
+    flow into further sorts and merge joins.
+    """
+    return tuple((False, 0) if v is None else (True, v) for v in values)
+
+
+def key_function(schema: Schema, order: SortOrder | Sequence[str]) -> Callable[[tuple], tuple]:
+    """Row → null-safe key-tuple extractor for the given attribute sequence."""
+    positions = schema.positions(list(order))
+    return lambda row: null_safe_wrap(tuple(row[i] for i in positions))

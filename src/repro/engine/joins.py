@@ -1,0 +1,341 @@
+"""Join operators: merge join (inner/left/full outer), hash join, block
+nested-loops join.
+
+Merge join is the operator with the factorial space of interesting
+orders: its inputs must both be sorted on *the same* permutation of the
+join attribute set, and its output inherits that permutation — which is
+why the optimizer's choice of permutation matters so much (Section 4).
+
+The hash join models Grace-style partitioning I/O when the build side
+exceeds memory, so the optimizer's hash-vs-merge trade-off (Figure 11)
+is faithful.  Nested loops preserves the outer input's order, which the
+afm computation exploits (Section 5.1.2, case 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from ..expr.expressions import JoinPredicate, Predicate
+from ..storage.schema import Schema
+from .context import ExecutionContext
+from .iterators import Operator, null_safe_wrap
+
+JOIN_TYPES = ("inner", "left", "full")
+
+
+def _pad(width: int) -> tuple:
+    return (None,) * width
+
+
+class _GroupReader:
+    """Reads a key-sorted stream group by group (one group = equal keys)."""
+
+    _DONE = object()
+
+    def __init__(self, rows: Iterator[tuple], key_positions: Sequence[int]) -> None:
+        self._rows = rows
+        self._positions = tuple(key_positions)
+        self._pending: object = next(rows, self._DONE)
+
+    def _key_of(self, row: tuple) -> tuple:
+        return null_safe_wrap(tuple(row[i] for i in self._positions))
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pending is self._DONE
+
+    def peek_key(self) -> tuple:
+        assert not self.exhausted
+        return self._key_of(self._pending)  # type: ignore[arg-type]
+
+    def next_group(self) -> tuple[tuple, list[tuple]]:
+        """Pop the next group of rows sharing a key."""
+        assert not self.exhausted
+        key = self.peek_key()
+        group = [self._pending]  # type: ignore[list-item]
+        self._pending = next(self._rows, self._DONE)
+        while not self.exhausted and self._key_of(self._pending) == key:  # type: ignore[arg-type]
+            group.append(self._pending)  # type: ignore[arg-type]
+            self._pending = next(self._rows, self._DONE)
+        return key, group
+
+
+class MergeJoin(Operator):
+    """Sort-merge join over inputs sorted on the chosen key permutation.
+
+    ``predicate.pairs`` must be listed **in the sort-order permutation**
+    the optimizer chose — position *i* of the left and right sort keys is
+    pair *i*.  Output order is the left-side permutation (the right-side
+    names are equivalent modulo the join equalities).
+    """
+
+    name = "MergeJoin"
+
+    def __init__(self, left: Operator, right: Operator, predicate: JoinPredicate,
+                 join_type: str = "inner") -> None:
+        if join_type not in JOIN_TYPES:
+            raise ValueError(f"join_type must be one of {JOIN_TYPES}")
+        for l, r in predicate.pairs:
+            if l not in left.schema:
+                raise ValueError(f"merge join: left column {l!r} missing")
+            if r not in right.schema:
+                raise ValueError(f"merge join: right column {r!r} missing")
+        schema = left.schema.concat(right.schema)
+        order = SortOrder(predicate.left_columns)
+        super().__init__(schema, order, [left, right])
+        self.predicate = predicate
+        self.join_type = join_type
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        left, right = self.children
+        lpos = left.schema.positions(list(self.predicate.left_columns))
+        rpos = right.schema.positions(list(self.predicate.right_columns))
+        lrows = left.execute(ctx)
+        rrows = right.execute(ctx)
+        if ctx.check_orders:
+            lrows = _check_sorted_stream(lrows, lpos, "MergeJoin left input")
+            rrows = _check_sorted_stream(rrows, rpos, "MergeJoin right input")
+        return self._merge(ctx, lrows, rrows, lpos, rpos)
+
+    def _merge(self, ctx: ExecutionContext, lrows: Iterator[tuple],
+               rrows: Iterator[tuple], lpos: Sequence[int],
+               rpos: Sequence[int]) -> Iterator[tuple]:
+        lreader = _GroupReader(lrows, lpos)
+        rreader = _GroupReader(rrows, rpos)
+        counter = ctx.comparisons
+        lwidth, rwidth = len(self.children[0].schema), len(self.children[1].schema)
+        emit_left_outer = self.join_type in ("left", "full")
+        emit_right_outer = self.join_type == "full"
+
+        while not lreader.exhausted and not rreader.exhausted:
+            lkey, rkey = lreader.peek_key(), rreader.peek_key()
+            counter.add()
+            if lkey < rkey:
+                _, lgroup = lreader.next_group()
+                if emit_left_outer:
+                    pad = _pad(rwidth)
+                    for lrow in lgroup:
+                        yield lrow + pad
+            elif rkey < lkey:
+                _, rgroup = rreader.next_group()
+                if emit_right_outer:
+                    pad = _pad(lwidth)
+                    for rrow in rgroup:
+                        yield pad + rrow
+            else:
+                # SQL semantics: NULL keys never match, even to each other.
+                if any(not present for present, _ in lkey):
+                    _, lgroup = lreader.next_group()
+                    _, rgroup = rreader.next_group()
+                    if emit_left_outer:
+                        pad = _pad(rwidth)
+                        for lrow in lgroup:
+                            yield lrow + pad
+                    if emit_right_outer:
+                        pad = _pad(lwidth)
+                        for rrow in rgroup:
+                            yield pad + rrow
+                    continue
+                _, lgroup = lreader.next_group()
+                _, rgroup = rreader.next_group()
+                for lrow in lgroup:
+                    for rrow in rgroup:
+                        yield lrow + rrow
+        while emit_left_outer and not lreader.exhausted:
+            _, lgroup = lreader.next_group()
+            pad = _pad(rwidth)
+            for lrow in lgroup:
+                yield lrow + pad
+        while emit_right_outer and not rreader.exhausted:
+            _, rgroup = rreader.next_group()
+            pad = _pad(lwidth)
+            for rrow in rgroup:
+                yield pad + rrow
+
+    def details(self) -> str:
+        kind = "" if self.join_type == "inner" else f" {self.join_type.upper()} OUTER"
+        return f"{self.predicate}{kind} on {self.output_order}"
+
+
+class HashJoin(Operator):
+    """In-memory hash join with simulated Grace partitioning I/O.
+
+    Builds on the left input, probes with the right.  When the build side
+    exceeds sort memory, both inputs are charged one extra write+read
+    (partitioning pass), the classic Grace cost ``2(B_l + B_r)`` on top
+    of the scans.  Output order is unspecified (ε) — hash partitioning
+    destroys order, which is what the paper assumes for hash operators.
+    """
+
+    name = "HashJoin"
+
+    def __init__(self, left: Operator, right: Operator, predicate: JoinPredicate,
+                 join_type: str = "inner") -> None:
+        if join_type not in JOIN_TYPES:
+            raise ValueError(f"join_type must be one of {JOIN_TYPES}")
+        schema = left.schema.concat(right.schema)
+        super().__init__(schema, EMPTY_ORDER, [left, right])
+        self.predicate = predicate
+        self.join_type = join_type
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        if self.join_type == "left":
+            return self._left_outer(ctx)
+        return self._build_left(ctx)
+
+    def _charge_grace(self, ctx: ExecutionContext, num_rows: int, row_bytes: int) -> None:
+        """One partition write + read for *num_rows* (Grace overflow)."""
+        ctx.charge_blocks_for_rows(num_rows, row_bytes, direction="write",
+                                   category="partition")
+        ctx.charge_blocks_for_rows(num_rows, row_bytes, direction="read",
+                                   category="partition")
+
+    def _build_left(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        """Inner and FULL OUTER: build on left, probe with right."""
+        left, right = self.children
+        lpos = left.schema.positions(list(self.predicate.left_columns))
+        rpos = right.schema.positions(list(self.predicate.right_columns))
+        lwidth, rwidth = len(left.schema), len(right.schema)
+        full = self.join_type == "full"
+
+        build_rows = list(left.execute(ctx))
+        spills = len(build_rows) * left.schema.row_bytes > ctx.params.sort_memory_bytes
+        if spills:
+            self._charge_grace(ctx, len(build_rows), left.schema.row_bytes)
+
+        table: dict[tuple, list[tuple]] = {}
+        null_build_rows: list[tuple] = []
+        for row in build_rows:
+            key = tuple(row[i] for i in lpos)
+            if any(v is None for v in key):
+                null_build_rows.append(row)  # NULLs never join
+            else:
+                table.setdefault(key, []).append(row)
+
+        matched_keys: set[tuple] = set()
+        probe_count = 0
+        for rrow in right.execute(ctx):
+            probe_count += 1
+            key = tuple(rrow[i] for i in rpos)
+            group = None if any(v is None for v in key) else table.get(key)
+            if group:
+                if full:
+                    matched_keys.add(key)
+                for lrow in group:
+                    yield lrow + rrow
+            elif full:
+                yield _pad(lwidth) + rrow
+        if spills:
+            self._charge_grace(ctx, probe_count, right.schema.row_bytes)
+
+        if full:
+            pad = _pad(rwidth)
+            for key, group in table.items():
+                if key in matched_keys:
+                    continue
+                for lrow in group:
+                    yield lrow + pad
+            for lrow in null_build_rows:
+                yield lrow + pad
+
+    def _left_outer(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        """LEFT OUTER: build on right, stream left, pad misses."""
+        left, right = self.children
+        lpos = left.schema.positions(list(self.predicate.left_columns))
+        rpos = right.schema.positions(list(self.predicate.right_columns))
+        rwidth = len(right.schema)
+
+        build_rows = list(right.execute(ctx))
+        spills = len(build_rows) * right.schema.row_bytes > ctx.params.sort_memory_bytes
+        if spills:
+            self._charge_grace(ctx, len(build_rows), right.schema.row_bytes)
+        rtable: dict[tuple, list[tuple]] = {}
+        for rrow in build_rows:
+            key = tuple(rrow[i] for i in rpos)
+            if not any(v is None for v in key):
+                rtable.setdefault(key, []).append(rrow)
+
+        pad = _pad(rwidth)
+        probe_count = 0
+        for lrow in left.execute(ctx):
+            probe_count += 1
+            key = tuple(lrow[i] for i in lpos)
+            group = None if any(v is None for v in key) else rtable.get(key)
+            if group:
+                for rrow in group:
+                    yield lrow + rrow
+            else:
+                yield lrow + pad
+        if spills:
+            self._charge_grace(ctx, probe_count, left.schema.row_bytes)
+
+    def details(self) -> str:
+        kind = "" if self.join_type == "inner" else f" {self.join_type.upper()} OUTER"
+        return f"{self.predicate}{kind}"
+
+
+class NestedLoopsJoin(Operator):
+    """Block nested-loops join; preserves the outer (left) input's order.
+
+    The inner input is materialised once; the simulated cost charges one
+    inner re-read per outer memory-load, the textbook
+    ``B_outer + ⌈B_outer / (M-1)⌉ · B_inner`` pattern.
+    """
+
+    name = "NestedLoopsJoin"
+
+    def __init__(self, left: Operator, right: Operator,
+                 predicate: Optional[JoinPredicate] = None,
+                 residual: Optional[Predicate] = None) -> None:
+        schema = left.schema.concat(right.schema)
+        super().__init__(schema, left.output_order, [left, right])
+        self.predicate = predicate
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        left, right = self.children
+        inner = list(right.execute(ctx))
+        inner_blocks = math.ceil(len(inner) * right.schema.row_bytes
+                                 / ctx.params.block_size) if inner else 0
+        outer_rows_per_load = ctx.memory_capacity_rows(left.schema.row_bytes)
+
+        pairs = self.predicate.pairs if self.predicate else ()
+        lpos = left.schema.positions([l for l, _ in pairs]) if pairs else ()
+        rpos = right.schema.positions([r for _, r in pairs]) if pairs else ()
+        residual_fn = self.residual.compile(self.schema) if self.residual else None
+
+        def stream() -> Iterator[tuple]:
+            for i, lrow in enumerate(left.execute(ctx)):
+                if i % outer_rows_per_load == 0 and inner_blocks:
+                    # One full inner re-read per outer memory-load.
+                    ctx.io.read(inner_blocks, category="scan")
+                lkey = tuple(lrow[p] for p in lpos)
+                for rrow in inner:
+                    if pairs:
+                        rkey = tuple(rrow[p] for p in rpos)
+                        ctx.comparisons.add()
+                        if lkey != rkey or any(v is None for v in lkey):
+                            continue
+                    out = lrow + rrow
+                    if residual_fn is not None and not residual_fn(out):
+                        continue
+                    yield out
+
+        return stream()
+
+    def details(self) -> str:
+        return repr(self.predicate) if self.predicate else "cross"
+
+
+def _check_sorted_stream(rows: Iterator[tuple], positions: Sequence[int],
+                         what: str) -> Iterator[tuple]:
+    prev: Optional[tuple] = None
+    for row in rows:
+        key = null_safe_wrap(tuple(row[i] for i in positions))
+        if prev is not None and key < prev:
+            raise AssertionError(f"{what}: not sorted — {key} after {prev}")
+        prev = key
+        yield row

@@ -1,0 +1,98 @@
+"""Lower optimizer :class:`~repro.optimizer.plans.PhysicalPlan` trees to
+executable engine operators.
+
+Payload (``args``) conventions per plan ``op``:
+
+=====================  ==========================================================
+op                     args
+=====================  ==========================================================
+``TableScan``          ``table`` (name)
+``ClusteringIndexScan``  ``table``
+``CoveringIndexScan``  ``table``, ``index`` (names)
+``Filter``             ``predicate``
+``Project``            ``columns`` (tuple of names)
+``Compute``            ``outputs`` (tuple of (name, expression))
+``Sort``               target = plan.order; ``prefix``; ``algorithm``
+``PartialSort``        same, algorithm forced to MRS
+``MergeJoin``          ``predicate`` (pairs in permutation order), ``join_type``
+``HashJoin``           ``predicate``, ``join_type``
+``NestedLoopsJoin``    ``predicate`` (optional), ``residual`` (optional)
+``SortAggregate``      group order = plan.order; ``group_columns``, ``aggregates``
+``HashAggregate``      ``group_columns``, ``aggregates``
+``MergeUnion``         order = plan.order
+``UnionAll``           —
+``Dedup``              order = plan.order
+``HashDedup``          —
+``Limit``              ``k``
+=====================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from .aggregates import HashAggregate, SortAggregate
+from .basic import Compute, Filter, Limit, Project, Sort
+from .iterators import Operator
+from .joins import HashJoin, MergeJoin, NestedLoopsJoin
+from .scans import ClusteringIndexScan, CoveringIndexScan, TableScan
+from .sets import Dedup, HashDedup, MergeUnion, UnionAll
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.catalog import Catalog
+
+
+def operators_from_plan(plan, catalog: "Catalog") -> Operator:
+    """Recursively build the engine operator tree for *plan*."""
+    children = [operators_from_plan(c, catalog) for c in plan.children]
+    op = plan.op
+
+    if op == "TableScan":
+        return TableScan(catalog.table(plan.arg("table")))
+    if op == "ClusteringIndexScan":
+        return ClusteringIndexScan(catalog.table(plan.arg("table")))
+    if op == "CoveringIndexScan":
+        index = next(ix for ix in catalog.indexes_of(plan.arg("table"))
+                     if ix.name == plan.arg("index"))
+        return CoveringIndexScan(index)
+    if op == "Filter":
+        return Filter(children[0], plan.arg("predicate"))
+    if op == "Project":
+        return Project(children[0], list(plan.arg("columns")))
+    if op == "Compute":
+        return Compute(children[0], list(plan.arg("outputs")))
+    if op in ("Sort", "PartialSort"):
+        prefix = plan.arg("prefix", EMPTY_ORDER)
+        algorithm = plan.arg("algorithm", "auto")
+        if op == "PartialSort" and not prefix:
+            raise ValueError("PartialSort plan without a known prefix")
+        return Sort(children[0], plan.order, known_prefix=prefix,
+                    algorithm=algorithm)
+    if op == "MergeJoin":
+        return MergeJoin(children[0], children[1], plan.arg("predicate"),
+                         plan.arg("join_type", "inner"))
+    if op == "HashJoin":
+        return HashJoin(children[0], children[1], plan.arg("predicate"),
+                        plan.arg("join_type", "inner"))
+    if op == "NestedLoopsJoin":
+        return NestedLoopsJoin(children[0], children[1],
+                               plan.arg("predicate"), plan.arg("residual"))
+    if op == "SortAggregate":
+        return SortAggregate(children[0], plan.order,
+                             list(plan.arg("aggregates")),
+                             group_columns=list(plan.arg("group_columns")))
+    if op == "HashAggregate":
+        return HashAggregate(children[0], list(plan.arg("group_columns")),
+                             list(plan.arg("aggregates")))
+    if op == "MergeUnion":
+        return MergeUnion(children[0], children[1], plan.order)
+    if op == "UnionAll":
+        return UnionAll(children[0], children[1])
+    if op == "Dedup":
+        return Dedup(children[0], plan.order)
+    if op == "HashDedup":
+        return HashDedup(children[0])
+    if op == "Limit":
+        return Limit(children[0], plan.arg("k"))
+    raise ValueError(f"cannot lower unknown plan op {op!r}")

@@ -1,0 +1,146 @@
+"""Set operators: merge union, union-all, duplicate elimination.
+
+Merge union is the paper's second example (after merge join) of an
+operator requiring *the same* sort order from multiple inputs — SYS2's
+Query 4 plan was expensive precisely because its two left-outer joins
+produced different orders, making the union's dedup costly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from .context import ExecutionContext
+from .iterators import Operator, key_function, null_safe_wrap
+
+
+def _check_compatible(left: Operator, right: Operator, what: str) -> None:
+    if len(left.schema) != len(right.schema):
+        raise ValueError(f"{what}: inputs have different arity "
+                         f"({len(left.schema)} vs {len(right.schema)})")
+
+
+class UnionAll(Operator):
+    """Bag union: concatenate the two inputs; no order guarantee."""
+
+    name = "UnionAll"
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        _check_compatible(left, right, "UnionAll")
+        super().__init__(left.schema, EMPTY_ORDER, [left, right])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        for child in self.children:
+            yield from child.execute(ctx)
+
+
+class MergeUnion(Operator):
+    """Duplicate-eliminating union of two inputs sorted on *order*.
+
+    *order* must cover every output column (set semantics need a total
+    comparison); both inputs must arrive sorted on it.  Output preserves
+    the order — a favorable order for operators above.
+    """
+
+    name = "MergeUnion"
+
+    def __init__(self, left: Operator, right: Operator, order: SortOrder) -> None:
+        _check_compatible(left, right, "MergeUnion")
+        if set(order) != set(left.schema.names):
+            raise ValueError(
+                f"MergeUnion order {order} must be a permutation of all "
+                f"columns {left.schema.names}")
+        super().__init__(left.schema, order, [left, right])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        left, right = self.children
+        lkey = key_function(left.schema, self.output_order)
+        rkey = key_function(right.schema.rename(
+            dict(zip(right.schema.names, left.schema.names))), self.output_order)
+
+        lrows = left.execute(ctx)
+        rrows = right.execute(ctx)
+        if ctx.check_orders:
+            lpos = left.schema.positions(list(self.output_order))
+            from .joins import _check_sorted_stream
+            lrows = _check_sorted_stream(lrows, lpos, "MergeUnion left")
+            rrows = _check_sorted_stream(rrows, lpos, "MergeUnion right")
+
+        def stream() -> Iterator[tuple]:
+            DONE = object()
+            lit, rit = iter(lrows), iter(rrows)
+            lrow, rrow = next(lit, DONE), next(rit, DONE)
+            last_key: Optional[tuple] = None
+            while lrow is not DONE or rrow is not DONE:
+                if rrow is DONE or (lrow is not DONE and lkey(lrow) <= rkey(rrow)):
+                    row, key = lrow, lkey(lrow)
+                    lrow = next(lit, DONE)
+                else:
+                    row, key = rrow, rkey(rrow)
+                    rrow = next(rit, DONE)
+                ctx.comparisons.add()
+                if key != last_key:
+                    yield row
+                    last_key = key
+
+        return stream()
+
+    def details(self) -> str:
+        return f"on {self.output_order}"
+
+
+class Dedup(Operator):
+    """Streaming DISTINCT over input sorted on a permutation of all columns."""
+
+    name = "Dedup"
+
+    def __init__(self, child: Operator, order: SortOrder) -> None:
+        if set(order) != set(child.schema.names):
+            raise ValueError("Dedup order must cover every column")
+        super().__init__(child.schema, order, [child])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        key_fn = key_function(self.schema, self.output_order)
+        rows = self.children[0].execute(ctx)
+        if ctx.check_orders:
+            positions = self.schema.positions(list(self.output_order))
+            from .joins import _check_sorted_stream
+            rows = _check_sorted_stream(rows, positions, "Dedup input")
+
+        def stream() -> Iterator[tuple]:
+            last: Optional[tuple] = None
+            for row in rows:
+                key = key_fn(row)
+                ctx.comparisons.add()
+                if key != last:
+                    yield row
+                    last = key
+
+        return stream()
+
+    def details(self) -> str:
+        return f"on {self.output_order}"
+
+
+class HashDedup(Operator):
+    """Hash-based DISTINCT; no order requirement or guarantee."""
+
+    name = "HashDedup"
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child.schema, EMPTY_ORDER, [child])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        distinct: list[tuple] = []
+        for row in self.children[0].execute(ctx):
+            if row not in seen:
+                seen.add(row)
+                distinct.append(row)
+        if len(distinct) * self.schema.row_bytes > ctx.params.sort_memory_bytes:
+            ctx.charge_blocks_for_rows(len(distinct), self.schema.row_bytes,
+                                       direction="write", category="partition")
+            ctx.charge_blocks_for_rows(len(distinct), self.schema.row_bytes,
+                                       direction="read", category="partition")
+        return iter(distinct)

@@ -1,0 +1,33 @@
+"""Scalar/predicate expression language for filters, joins and aggregates."""
+
+from .expressions import (
+    And,
+    BinOp,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    JoinPredicate,
+    Or,
+    Predicate,
+    col,
+    wrap,
+)
+from .aggregates import AggregateFunction, AggSpec, AGGREGATES
+
+__all__ = [
+    "AGGREGATES",
+    "AggSpec",
+    "AggregateFunction",
+    "And",
+    "BinOp",
+    "Col",
+    "Comparison",
+    "Const",
+    "Expression",
+    "JoinPredicate",
+    "Or",
+    "Predicate",
+    "col",
+    "wrap",
+]

@@ -1,0 +1,313 @@
+"""Scalar expressions and predicates.
+
+A tiny, explicit expression AST — enough to express every query in the
+paper's evaluation (Queries 1–6 plus Example 1): column references,
+constants, arithmetic (Query 5 computes ``Quantity * Price``),
+comparisons, conjunction/disjunction, and equality join predicates.
+
+Expressions are compiled against a :class:`~repro.storage.schema.Schema`
+into plain Python callables over row tuples, so the inner loop of the
+executor pays no interpretation overhead beyond one function call.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Union
+
+from ..storage.schema import Schema
+
+RowFn = Callable[[tuple], Any]
+
+_BIN_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+_CMP_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def columns(self) -> frozenset[str]:
+        """All column names referenced by the expression."""
+        raise NotImplementedError
+
+    def compile(self, schema: Schema) -> RowFn:
+        """Compile to a row → value callable positionally bound to *schema*."""
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------------
+    def __add__(self, other) -> "BinOp":
+        return BinOp("+", self, wrap(other))
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("-", self, wrap(other))
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("*", self, wrap(other))
+
+    def __truediv__(self, other) -> "BinOp":
+        return BinOp("/", self, wrap(other))
+
+    def eq(self, other) -> "Comparison":
+        return Comparison("=", self, wrap(other))
+
+    def ne(self, other) -> "Comparison":
+        return Comparison("!=", self, wrap(other))
+
+    def lt(self, other) -> "Comparison":
+        return Comparison("<", self, wrap(other))
+
+    def le(self, other) -> "Comparison":
+        return Comparison("<=", self, wrap(other))
+
+    def gt(self, other) -> "Comparison":
+        return Comparison(">", self, wrap(other))
+
+    def ge(self, other) -> "Comparison":
+        return Comparison(">=", self, wrap(other))
+
+
+def wrap(value: Union["Expression", int, float, str]) -> "Expression":
+    """Lift a Python literal to a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Col(Expression):
+    """A column reference by name."""
+
+    name: str
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def compile(self, schema: Schema) -> RowFn:
+        pos = schema.position(self.name)
+        return operator.itemgetter(pos)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A literal constant."""
+
+    value: Any
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def compile(self, schema: Schema) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """Arithmetic over two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def compile(self, schema: Schema) -> RowFn:
+        fn = _BIN_OPS[self.op]
+        lf, rf = self.left.compile(schema), self.right.compile(schema)
+        return lambda row: fn(lf(row), rf(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Predicate(Expression):
+    """Boolean-valued expression."""
+
+    def selectivity(self, stats) -> float:
+        """Estimated fraction of rows passing (System-R defaults)."""
+        raise NotImplementedError
+
+    def conjuncts(self) -> list["Predicate"]:
+        return [self]
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left <op> right`` comparison."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def compile(self, schema: Schema) -> RowFn:
+        fn = _CMP_OPS[self.op]
+        lf, rf = self.left.compile(schema), self.right.compile(schema)
+        return lambda row: fn(lf(row), rf(row))
+
+    def selectivity(self, stats) -> float:
+        if self.op == "=":
+            # col = const → 1/D(col); col = col handled by join estimation.
+            if isinstance(self.left, Col) and isinstance(self.right, Const):
+                return 1.0 / stats.distinct_of(self.left.name)
+            if isinstance(self.right, Col) and isinstance(self.left, Const):
+                return 1.0 / stats.distinct_of(self.right.name)
+            return 0.1
+        if self.op == "!=":
+            return 0.9
+        return 1.0 / 3.0  # range predicates
+
+    def __repr__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        flat: list[Predicate] = []
+        for p in parts:
+            if isinstance(p, And):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        object.__setattr__(self, "parts", tuple(flat))
+
+    def columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def compile(self, schema: Schema) -> RowFn:
+        fns = [p.compile(schema) for p in self.parts]
+        return lambda row: all(fn(row) for fn in fns)
+
+    def selectivity(self, stats) -> float:
+        sel = 1.0
+        for p in self.parts:
+            sel *= p.selectivity(stats)
+        return sel
+
+    def conjuncts(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for p in self.parts:
+            out.extend(p.conjuncts())
+        return out
+
+    def __repr__(self) -> str:
+        return " AND ".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def compile(self, schema: Schema) -> RowFn:
+        fns = [p.compile(schema) for p in self.parts]
+        return lambda row: any(fn(row) for fn in fns)
+
+    def selectivity(self, stats) -> float:
+        miss = 1.0
+        for p in self.parts:
+            miss *= 1.0 - p.selectivity(stats)
+        return 1.0 - miss
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A conjunctive equality join predicate.
+
+    ``pairs`` lists ``(left_column, right_column)`` equalities.  The *join
+    attribute set* of the paper is the set of pair positions; merge join
+    may sort on any permutation of them.
+    """
+
+    pairs: tuple[tuple[str, str], ...]
+
+    def __init__(self, pairs: Iterable[tuple[str, str]]) -> None:
+        pairs = tuple((str(l), str(r)) for l, r in pairs)
+        if not pairs:
+            raise ValueError("join predicate needs at least one equality pair")
+        if len({l for l, _ in pairs}) != len(pairs) or len({r for _, r in pairs}) != len(pairs):
+            raise ValueError(f"duplicate column in join predicate {pairs}")
+        object.__setattr__(self, "pairs", pairs)
+
+    @property
+    def left_columns(self) -> tuple[str, ...]:
+        return tuple(l for l, _ in self.pairs)
+
+    @property
+    def right_columns(self) -> tuple[str, ...]:
+        return tuple(r for _, r in self.pairs)
+
+    def left_for_right(self, right_col: str) -> str:
+        for l, r in self.pairs:
+            if r == right_col:
+                return l
+        raise KeyError(right_col)
+
+    def right_for_left(self, left_col: str) -> str:
+        for l, r in self.pairs:
+            if l == left_col:
+                return r
+        raise KeyError(left_col)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return " AND ".join(f"{l}={r}" for l, r in self.pairs)
+
+
+def col(name: str) -> Col:
+    """Convenience constructor, mirrors SQL column references."""
+    return Col(name)

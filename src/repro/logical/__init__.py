@@ -1,0 +1,36 @@
+"""Logical algebra, query builder and functional-dependency reasoning."""
+
+from .algebra import (
+    Annotator,
+    BaseRelation,
+    Compute,
+    Distinct,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalExpr,
+    OrderBy,
+    Project,
+    Select,
+    Union,
+)
+from .builder import Query
+from .fds import FDSet, query_fds
+
+__all__ = [
+    "Annotator",
+    "BaseRelation",
+    "Compute",
+    "Distinct",
+    "FDSet",
+    "GroupBy",
+    "Join",
+    "Limit",
+    "LogicalExpr",
+    "OrderBy",
+    "Project",
+    "Query",
+    "Select",
+    "Union",
+    "query_fds",
+]

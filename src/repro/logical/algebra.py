@@ -1,0 +1,324 @@
+"""Logical algebra: the optimizer's input language.
+
+Nodes are immutable and hashable (they key the optimizer's memo table).
+Supported shapes cover the paper's entire workload: select-project-join
+trees with inner/left/full-outer joins, grouping/aggregation, duplicate
+elimination, distinct union, computed columns and a root ORDER BY.
+
+Schema/statistics derivation lives in :class:`Annotator`, which walks a
+query once and caches per-node :class:`~repro.storage.statistics.StatsView`,
+output schemas, attribute equivalence classes (from join equalities) and
+the set of attributes each base table must supply (used to decide which
+indexes *cover the query*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..core.sort_order import AttributeEquivalence, SortOrder
+from ..expr.aggregates import AggSpec, aggregate_output_schema
+from ..expr.expressions import Expression, JoinPredicate, Predicate
+from ..storage.catalog import Catalog
+from ..storage.schema import Column, Schema
+from ..storage.statistics import StatsView
+
+
+class LogicalExpr:
+    """Base class for logical operators (immutable, hashable)."""
+
+    children: tuple["LogicalExpr", ...] = ()
+
+    def walk(self) -> Iterator["LogicalExpr"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.label()}"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class BaseRelation(LogicalExpr):
+    """A reference to a catalog table."""
+
+    table_name: str
+
+    def label(self) -> str:
+        return f"Relation({self.table_name})"
+
+
+@dataclass(frozen=True)
+class Select(LogicalExpr):
+    """σ — filter by a predicate."""
+
+    child: LogicalExpr
+    predicate: Predicate
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        return f"Select({self.predicate})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalExpr):
+    """π — keep the named columns, in order."""
+
+    child: LogicalExpr
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class Compute(LogicalExpr):
+    """Extend rows with computed columns ``(name, expression)``."""
+
+    child: LogicalExpr
+    outputs: tuple[tuple[str, Expression], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        return "Compute(" + ", ".join(f"{n}={e}" for n, e in self.outputs) + ")"
+
+
+@dataclass(frozen=True)
+class Join(LogicalExpr):
+    """Equi-join (inner / left / full outer) on conjunctive equalities."""
+
+    left: LogicalExpr
+    right: LogicalExpr
+    predicate: JoinPredicate
+    join_type: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.join_type not in ("inner", "left", "full"):
+            raise ValueError(f"bad join type {self.join_type!r}")
+        object.__setattr__(self, "children", (self.left, self.right))
+
+    def label(self) -> str:
+        kind = "" if self.join_type == "inner" else f" {self.join_type.upper()} OUTER"
+        return f"Join{kind}({self.predicate})"
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalExpr):
+    """Grouping + aggregation."""
+
+    child: LogicalExpr
+    group_columns: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"GroupBy({', '.join(self.group_columns)}; {aggs})"
+
+
+@dataclass(frozen=True)
+class Distinct(LogicalExpr):
+    """Duplicate elimination over all columns."""
+
+    child: LogicalExpr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+
+@dataclass(frozen=True)
+class Union(LogicalExpr):
+    """Set union (duplicate-eliminating) of two compatible inputs."""
+
+    left: LogicalExpr
+    right: LogicalExpr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.left, self.right))
+
+
+@dataclass(frozen=True)
+class OrderBy(LogicalExpr):
+    """Root-level ORDER BY: a required physical property, not an operator."""
+
+    child: LogicalExpr
+    order: SortOrder
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        return f"OrderBy{self.order}"
+
+
+@dataclass(frozen=True)
+class Limit(LogicalExpr):
+    """Keep the first *k* rows of the (ordered) child."""
+
+    child: LogicalExpr
+    k: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", (self.child,))
+
+    def label(self) -> str:
+        return f"Limit({self.k})"
+
+
+class Annotator:
+    """Derives schemas, statistics, equivalences and per-table used
+    attributes for a whole query, with per-node caching."""
+
+    def __init__(self, catalog: Catalog, root: LogicalExpr) -> None:
+        self.catalog = catalog
+        self.root = root
+        self._schema: dict[LogicalExpr, Schema] = {}
+        self._stats: dict[LogicalExpr, StatsView] = {}
+        self.eq = AttributeEquivalence()
+        self._collect_equivalences(root)
+        self._used_attrs: dict[str, frozenset[str]] = self._collect_used_attrs(root)
+
+    # -- equivalence classes --------------------------------------------------------
+    def _collect_equivalences(self, expr: LogicalExpr) -> None:
+        for node in expr.walk():
+            if isinstance(node, Join):
+                for l, r in node.predicate.pairs:
+                    self.eq.add_equivalence(l, r)
+
+    # -- used attributes per base table ----------------------------------------------
+    def _collect_used_attrs(self, root: LogicalExpr) -> dict[str, frozenset[str]]:
+        """Which columns each base table must deliver for this query.
+
+        An index *covers the query* for table R iff it contains every
+        column of R referenced anywhere — unless a Project explicitly
+        narrows the need.  We approximate conservatively: all columns
+        referenced by predicates, join pairs, group keys, aggregates,
+        computed outputs, orders — plus all columns of the root schema.
+        """
+        used: set[str] = set()
+        for node in root.walk():
+            if isinstance(node, Select):
+                used |= node.predicate.columns()
+            elif isinstance(node, Join):
+                used |= {c for pair in node.predicate.pairs for c in pair}
+            elif isinstance(node, GroupBy):
+                used |= set(node.group_columns)
+                for spec in node.aggregates:
+                    used |= spec.columns()
+            elif isinstance(node, Compute):
+                used |= {c for _, e in node.outputs for c in e.columns()}
+            elif isinstance(node, OrderBy):
+                used |= set(node.order)
+            elif isinstance(node, Project):
+                used |= set(node.columns)
+        used |= set(self.schema_of(root).names)
+
+        per_table: dict[str, frozenset[str]] = {}
+        for node in root.walk():
+            if isinstance(node, BaseRelation):
+                table = self.catalog.table(node.table_name)
+                cols = frozenset(table.schema.names)
+                needed = cols & used
+                # Never let a table contribute zero columns.
+                per_table[node.table_name] = needed or cols
+        return per_table
+
+    def used_attrs(self, table_name: str) -> frozenset[str]:
+        table = self.catalog.table(table_name)
+        return self._used_attrs.get(table_name, frozenset(table.schema.names))
+
+    # -- schema -------------------------------------------------------------------------
+    def schema_of(self, expr: LogicalExpr) -> Schema:
+        cached = self._schema.get(expr)
+        if cached is not None:
+            return cached
+        schema = self._derive_schema(expr)
+        self._schema[expr] = schema
+        return schema
+
+    def _derive_schema(self, expr: LogicalExpr) -> Schema:
+        if isinstance(expr, BaseRelation):
+            return self.catalog.table(expr.table_name).schema
+        if isinstance(expr, (Select, Distinct, OrderBy, Limit)):
+            return self.schema_of(expr.children[0])
+        if isinstance(expr, Project):
+            return self.schema_of(expr.child).project(list(expr.columns))
+        if isinstance(expr, Compute):
+            base = self.schema_of(expr.child)
+            extra = [Column(name, "num", 8) for name, _ in expr.outputs]
+            return Schema(list(base) + extra)
+        if isinstance(expr, Join):
+            return self.schema_of(expr.left).concat(self.schema_of(expr.right))
+        if isinstance(expr, GroupBy):
+            return aggregate_output_schema(list(expr.group_columns),
+                                           self.schema_of(expr.child),
+                                           list(expr.aggregates))
+        if isinstance(expr, Union):
+            return self.schema_of(expr.left)
+        raise TypeError(f"unknown logical node {type(expr).__name__}")
+
+    # -- statistics ------------------------------------------------------------------------
+    def stats_of(self, expr: LogicalExpr) -> StatsView:
+        cached = self._stats.get(expr)
+        if cached is not None:
+            return cached
+        stats = self._derive_stats(expr)
+        self._stats[expr] = stats
+        return stats
+
+    def _derive_stats(self, expr: LogicalExpr) -> StatsView:
+        if isinstance(expr, BaseRelation):
+            table = self.catalog.table(expr.table_name)
+            keys = [table.primary_key] if table.primary_key else []
+            return StatsView.of_table(table.schema, table.stats, self.eq, keys)
+        if isinstance(expr, Select):
+            child = self.stats_of(expr.child)
+            return child.scaled(expr.predicate.selectivity(child))
+        if isinstance(expr, Project):
+            return self.stats_of(expr.child).projected(list(expr.columns))
+        if isinstance(expr, Compute):
+            child = self.stats_of(expr.child)
+            return StatsView(self.schema_of(expr), child.N,
+                             {c: child.distinct_of(c) for c in child.schema.names},
+                             self.eq)
+        if isinstance(expr, Join):
+            lstats, rstats = self.stats_of(expr.left), self.stats_of(expr.right)
+            joined = lstats.join(rstats, list(expr.predicate.pairs), self.eq)
+            if expr.join_type == "left":
+                return joined.with_rows(max(joined.N, lstats.N))
+            if expr.join_type == "full":
+                return joined.with_rows(max(joined.N, lstats.N, rstats.N))
+            return joined
+        if isinstance(expr, GroupBy):
+            return self.stats_of(expr.child).grouped(
+                list(expr.group_columns), self.schema_of(expr))
+        if isinstance(expr, Distinct):
+            child = self.stats_of(expr.child)
+            return child.with_rows(child.distinct_of_set(child.schema.names))
+        if isinstance(expr, Union):
+            lstats, rstats = self.stats_of(expr.left), self.stats_of(expr.right)
+            return StatsView(self.schema_of(expr), lstats.N + rstats.N,
+                             {c: lstats.distinct_of(c) for c in lstats.schema.names},
+                             self.eq)
+        if isinstance(expr, (OrderBy, Limit)):
+            child = self.stats_of(expr.children[0])
+            if isinstance(expr, Limit):
+                return child.with_rows(min(child.N, expr.k))
+            return child
+        raise TypeError(f"unknown logical node {type(expr).__name__}")

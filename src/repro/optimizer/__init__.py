@@ -1,0 +1,13 @@
+"""Volcano-style cost-based optimizer with order-aware enforcers."""
+
+from .cost import CostModel
+from .plans import PhysicalPlan, make_plan
+from .volcano import Optimizer, OptimizerConfig
+
+__all__ = [
+    "CostModel",
+    "Optimizer",
+    "OptimizerConfig",
+    "PhysicalPlan",
+    "make_plan",
+]

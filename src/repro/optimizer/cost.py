@@ -1,0 +1,141 @@
+"""The cost model (Section 3.2), in the paper's I/O cost units.
+
+The centrepiece is ``coe(e, o1, o2)`` — the cost of enforcing order *o2*
+on a result that already has order *o1*:
+
+* full sort (``o1 ∧ o2 = ε``)::
+
+      coe(e, ε, o)  =  cpu-cost(e, o)                      if B(e) ≤ M
+                       B(e)·(2·⌈log_{M-1}(B(e)/M)⌉ + 1)    otherwise
+
+* partial sort::
+
+      coe(e, o1, o2) = D(e, attrs(os)) · coe(e', ε, or)
+
+  with ``os = o2 ∧ o1``, ``or = o2 − os`` and ``e'`` one partial sort
+  segment (``N/D`` rows, ``B/D`` blocks, uniform-distribution
+  assumption) — i.e. sort each segment independently and multiply by the
+  number of segments.
+
+CPU comparisons are translated into I/O units by the
+``cpu_comparisons_per_io`` system parameter (the paper's translation
+constant is unpublished; see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.sort_order import (
+    AttributeEquivalence,
+    EMPTY_ORDER,
+    SortOrder,
+    longest_common_prefix,
+)
+from ..storage.catalog import SystemParameters
+from ..storage.statistics import StatsView, blocks_for
+
+
+class CostModel:
+    """Operator cost estimation against :class:`SystemParameters`."""
+
+    def __init__(self, params: SystemParameters,
+                 eq: Optional[AttributeEquivalence] = None) -> None:
+        self.params = params
+        self.eq = eq
+
+    # -- CPU translation ------------------------------------------------------------
+    def cpu(self, comparisons: float) -> float:
+        return comparisons / self.params.cpu_comparisons_per_io
+
+    def cpu_sort(self, num_rows: float, segments: float = 1.0) -> float:
+        """CPU cost of sorting N rows as *segments* independent segments:
+        ``N · log2(N/k)`` comparisons (Section 3.1, benefit 3)."""
+        if num_rows <= 1:
+            return 0.0
+        per_segment = max(2.0, num_rows / max(1.0, segments))
+        return self.cpu(num_rows * math.log2(per_segment))
+
+    # -- sorting ---------------------------------------------------------------------
+    def full_sort(self, num_rows: float, num_blocks: float) -> float:
+        """``coe(e, ε, o)`` for one sort unit (whole input or one segment)."""
+        M = self.params.sort_memory_blocks
+        cpu = self.cpu_sort(num_rows)
+        if num_blocks <= M:
+            return cpu
+        passes = math.ceil(math.log(max(1.0, num_blocks / M), max(2, M - 1)))
+        return num_blocks * (2 * passes + 1) + cpu
+
+    def coe(self, stats: StatsView, from_order: SortOrder, to_order: SortOrder,
+            partial_enabled: bool = True) -> float:
+        """Cost of enforcing *to_order* given guaranteed *from_order*."""
+        if not to_order or to_order.is_prefix_of(from_order, self.eq):
+            return 0.0
+        shared = longest_common_prefix(to_order, from_order, self.eq)
+        if not partial_enabled:
+            shared = EMPTY_ORDER
+        N, B = stats.N, stats.B(self.params.block_size)
+        if N <= 0:
+            return 0.0
+        if not shared:
+            return self.full_sort(N, B)
+        segments = max(1.0, stats.distinct_of_set(list(shared)))
+        seg_rows = N / segments
+        seg_blocks = max(1.0, B / segments)
+        return segments * self.full_sort(seg_rows, seg_blocks)
+
+    # -- scans ----------------------------------------------------------------------
+    def table_scan(self, stats: StatsView) -> float:
+        return float(stats.B(self.params.block_size))
+
+    def index_scan(self, num_rows: float, entry_bytes: int) -> float:
+        return float(blocks_for(num_rows, entry_bytes, self.params.block_size))
+
+    # -- joins ----------------------------------------------------------------------
+    def merge_join(self, left: StatsView, right: StatsView, out_rows: float) -> float:
+        return self.cpu(left.N + right.N + out_rows)
+
+    def hash_join(self, build: StatsView, probe: StatsView, out_rows: float) -> float:
+        cpu_units = (build.N + probe.N) / self.params.hash_build_rows_per_io
+        cost = cpu_units + self.cpu(out_rows)
+        if build.B(self.params.block_size) > self.params.sort_memory_blocks:
+            cost += 2.0 * (build.B(self.params.block_size)
+                           + probe.B(self.params.block_size))
+        return cost
+
+    def nested_loops_join(self, outer: StatsView, inner: StatsView,
+                          out_rows: float) -> float:
+        """Block NL: one inner re-read per outer memory-load (mirrors the
+        executor's charging), plus the quadratic CPU term."""
+        cap_rows = max(2, self.params.sort_memory_bytes
+                       // max(1, outer.schema.row_bytes))
+        loads = math.ceil(outer.N / cap_rows) if outer.N else 0
+        io = loads * inner.B(self.params.block_size)
+        return io + self.cpu(outer.N * inner.N)
+
+    # -- aggregation / sets ------------------------------------------------------------
+    def sort_aggregate(self, in_stats: StatsView) -> float:
+        return self.cpu(in_stats.N)
+
+    def hash_aggregate(self, in_stats: StatsView, out_stats: StatsView) -> float:
+        cost = in_stats.N / self.params.hash_build_rows_per_io
+        out_blocks = out_stats.B(self.params.block_size)
+        if out_blocks > self.params.sort_memory_blocks:
+            cost += 2.0 * out_blocks
+        return cost
+
+    def merge_union(self, left: StatsView, right: StatsView) -> float:
+        return self.cpu(left.N + right.N)
+
+    def dedup(self, stats: StatsView) -> float:
+        return self.cpu(stats.N)
+
+    def hash_dedup(self, in_stats: StatsView, out_stats: StatsView) -> float:
+        return self.hash_aggregate(in_stats, out_stats)
+
+    def filter(self, in_stats: StatsView) -> float:
+        return self.cpu(in_stats.N)
+
+    def project(self, in_stats: StatsView) -> float:
+        return self.cpu(0.1 * in_stats.N)

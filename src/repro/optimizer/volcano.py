@@ -1,0 +1,464 @@
+"""The Volcano-style cost-based optimizer ("PYRO", Section 5.2).
+
+Request-driven search: ``optimize_goal(expr, required_order)`` returns
+the cheapest physical plan for a logical expression that *guarantees*
+the required sort order, memoised on ``(expr, canonical(order))``.
+Every native candidate (scans, joins per interesting order, aggregates,
+…) is passed through :meth:`OptimizationRun.enforce`, which appends
+
+* nothing, when the candidate's guaranteed order already satisfies the
+  (FD-reduced) requirement;
+* a **partial sort enforcer** when a non-empty prefix is shared (the
+  paper's extension — standard Volcano only knows full enforcers);
+* a full sort enforcer otherwise.
+
+The interesting orders tried at merge joins / sort aggregates / merge
+unions come from a pluggable :class:`~repro.core.interesting.OrderStrategy`
+(PYRO, PYRO-P, PYRO-O, PYRO-O−, PYRO-E), so all of Experiment B3 runs on
+one search engine.  Phase-2 refinement (Section 5.2.2) lives in
+:mod:`repro.core.refinement` and re-enters this optimizer with a
+:class:`~repro.core.interesting.ForcedOrderStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..core.favorable import FavorableOrders
+from ..core.interesting import (
+    ForcedOrderStrategy,
+    OrderContext,
+    OrderStrategy,
+    make_strategy,
+)
+from ..core.sort_order import (
+    AttributeEquivalence,
+    EMPTY_ORDER,
+    SortOrder,
+    longest_common_prefix,
+)
+from ..expr.expressions import JoinPredicate
+from ..logical.algebra import (
+    Annotator,
+    BaseRelation,
+    Compute,
+    Distinct,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalExpr,
+    OrderBy,
+    Project,
+    Select,
+    Union,
+)
+from ..logical.builder import Query
+from ..logical.fds import FDSet, query_fds
+from ..storage.catalog import Catalog
+from ..storage.schema import Schema
+from ..storage.statistics import StatsView
+from .cost import CostModel
+from .plans import PhysicalPlan, make_plan
+
+
+@dataclass
+class OptimizerConfig:
+    """Feature switches; defaults correspond to PYRO-O."""
+
+    strategy: str = "pyro-o"
+    partial_sort_enforcers: bool = True
+    refine: bool = True
+    enable_hash_join: bool = True
+    enable_nested_loops: bool = False
+    enable_hash_aggregate: bool = True
+    use_favorable_orders_everywhere: bool = True
+
+
+class Optimizer:
+    """Public facade: one instance per catalog, reusable across queries."""
+
+    def __init__(self, catalog: Catalog, strategy: str = "pyro-o",
+                 config: Optional[OptimizerConfig] = None, **overrides) -> None:
+        if config is None:
+            config = OptimizerConfig(strategy=strategy)
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise TypeError(f"unknown optimizer option {key!r}")
+            setattr(config, key, value)
+        strategy_obj, partial = make_strategy(config.strategy)
+        if config.strategy.lower() == "pyro-o-":
+            config.partial_sort_enforcers = False
+        self.catalog = catalog
+        self.config = config
+        self._strategy = strategy_obj
+
+    def optimize(self, query, required_order: Optional[SortOrder] = None,
+                 refine: Optional[bool] = None) -> PhysicalPlan:
+        """Optimize a :class:`Query` (or raw logical tree) to a physical plan.
+
+        A root :class:`OrderBy` turns into the required output order.
+        Phase-2 refinement is applied according to the config unless
+        overridden by *refine*.
+        """
+        expr = query.expr if isinstance(query, Query) else query
+        required = required_order or EMPTY_ORDER
+        if isinstance(expr, OrderBy) and not required:
+            required = expr.order
+            expr = expr.child
+        run = OptimizationRun(self.catalog, expr, self._strategy, self.config)
+        plan = run.optimize_goal(expr, required)
+        plan = run.ensure_schema(plan, expr)
+        do_refine = self.config.refine if refine is None else refine
+        if do_refine:
+            from ..core.refinement import refine_plan
+            plan = refine_plan(self, expr, required, plan)
+        return plan
+
+    def optimize_with_forced_orders(self, expr: LogicalExpr, required: SortOrder,
+                                    forced: dict[LogicalExpr, SortOrder]) -> PhysicalPlan:
+        """Re-plan with explicit permutations at given nodes (phase 2)."""
+        strategy = ForcedOrderStrategy(self._strategy, forced)
+        run = OptimizationRun(self.catalog, expr, strategy, self.config)
+        plan = run.optimize_goal(expr, required or EMPTY_ORDER)
+        return run.ensure_schema(plan, expr)
+
+    def cost_of(self, query, required_order: Optional[SortOrder] = None) -> float:
+        return self.optimize(query, required_order).total_cost
+
+
+class OptimizationRun:
+    """State for optimizing a single query (memo, annotations, afm)."""
+
+    def __init__(self, catalog: Catalog, root: LogicalExpr,
+                 strategy: OrderStrategy, config: OptimizerConfig) -> None:
+        self.catalog = catalog
+        self.root = root
+        self.config = config
+        self.strategy = strategy
+        self.annotator = Annotator(catalog, root)
+        self.eq = self.annotator.eq
+        self.fds = query_fds(catalog, root)
+        self.favorable = FavorableOrders(catalog, self.annotator)
+        self.cost_model = CostModel(catalog.params, self.eq)
+        self.order_ctx = OrderContext(self.favorable, self.fds, self.eq)
+        self._memo: dict[tuple[LogicalExpr, tuple[str, ...]], PhysicalPlan] = {}
+        #: Subgoals optimized — the optimization-effort metric of Fig. 16.
+        self.goals_examined = 0
+
+    # -- goal optimization -------------------------------------------------------------
+    def optimize_goal(self, expr: LogicalExpr, required: SortOrder) -> PhysicalPlan:
+        required = self.fds.reduce_order(required)
+        key = (expr, tuple(self.eq.canonical(a) for a in required))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self.goals_examined += 1
+
+        best: Optional[PhysicalPlan] = None
+        for candidate in self._native_candidates(expr, required):
+            plan = self.enforce(candidate, required)
+            if plan is None:
+                continue
+            if best is None or plan.total_cost < best.total_cost:
+                best = plan
+        if best is None:
+            raise RuntimeError(
+                f"no plan for {expr.label()} with required order {required}")
+        self._memo[key] = best
+        return best
+
+    # -- enforcers ------------------------------------------------------------------------
+    def enforce(self, plan: PhysicalPlan, required: SortOrder) -> Optional[PhysicalPlan]:
+        """Add a (partial) sort enforcer if *plan* misses the requirement."""
+        target = self.fds.reduce_order(required)
+        if not target or plan.order.satisfies(target, self.eq):
+            return plan
+        translated = self._translate_order(target, plan.schema)
+        if translated is None:
+            return None
+        partial_ok = self.config.partial_sort_enforcers
+        prefix = longest_common_prefix(translated, plan.order, self.eq)
+        cost = self.cost_model.coe(plan.stats, plan.order, translated,
+                                   partial_enabled=partial_ok)
+        if prefix and partial_ok:
+            return make_plan("PartialSort", plan.schema, translated, plan.stats,
+                             cost, [plan], prefix=prefix, algorithm="mrs")
+        return make_plan("Sort", plan.schema, translated, plan.stats, cost,
+                         [plan], prefix=EMPTY_ORDER, algorithm="srs")
+
+    def _translate_order(self, order: SortOrder,
+                         schema: Schema) -> Optional[SortOrder]:
+        """Express *order* in *schema*'s column names via equivalences."""
+        out: list[str] = []
+        for attr in order:
+            if attr in schema:
+                out.append(attr)
+                continue
+            mate = next((c for c in schema.names if self.eq.same(c, attr)), None)
+            if mate is None:
+                return None
+            if mate not in out:
+                out.append(mate)
+        return SortOrder(out)
+
+    def ensure_schema(self, plan: PhysicalPlan, expr: LogicalExpr) -> PhysicalPlan:
+        """Project the final plan to the logical output schema when a
+        covering-index scan or join swap changed column order."""
+        target = self.annotator.schema_of(expr)
+        if plan.schema.names == target.names:
+            return plan
+        if not plan.schema.has_all(target.names):
+            return plan  # narrower logical projection not expressible
+        cost = self.cost_model.project(plan.stats)
+        schema = plan.schema.project(list(target.names))
+        order = plan.order.restrict_prefix_to(target.names, self.eq)
+        return make_plan("Project", schema, order, plan.stats.projected(list(target.names)),
+                         cost, [plan], columns=tuple(target.names))
+
+    # -- candidate generation ----------------------------------------------------------------
+    def _native_candidates(self, expr: LogicalExpr,
+                           required: SortOrder) -> Iterable[PhysicalPlan]:
+        if isinstance(expr, BaseRelation):
+            yield from self._scan_candidates(expr)
+        elif isinstance(expr, Select):
+            yield from self._select_candidates(expr, required)
+        elif isinstance(expr, Project):
+            yield from self._project_candidates(expr, required)
+        elif isinstance(expr, Compute):
+            yield from self._compute_candidates(expr, required)
+        elif isinstance(expr, Join):
+            yield from self._join_candidates(expr, required)
+        elif isinstance(expr, GroupBy):
+            yield from self._group_candidates(expr, required)
+        elif isinstance(expr, Distinct):
+            yield from self._distinct_candidates(expr, required)
+        elif isinstance(expr, Union):
+            yield from self._union_candidates(expr, required)
+        elif isinstance(expr, OrderBy):
+            yield self.optimize_goal(expr.child, expr.order)
+        elif isinstance(expr, Limit):
+            yield from self._limit_candidates(expr, required)
+        else:
+            raise TypeError(f"cannot plan {type(expr).__name__}")
+
+    def _scan_candidates(self, expr: BaseRelation) -> Iterable[PhysicalPlan]:
+        table = self.catalog.table(expr.table_name)
+        keys = [table.primary_key] if table.primary_key else []
+        stats = StatsView.of_table(table.schema, table.stats, self.eq, keys)
+        yield make_plan("TableScan", table.schema, table.clustering_order,
+                        stats, self.cost_model.table_scan(stats),
+                        table=table.name)
+        used = self.annotator.used_attrs(expr.table_name)
+        for index in self.catalog.indexes_of(expr.table_name):
+            if not index.covers(used):
+                continue
+            leaf_schema = index.leaf_schema
+            leaf_stats = stats.projected(list(leaf_schema.names))
+            cost = self.cost_model.index_scan(stats.N, index.entry_bytes())
+            yield make_plan("CoveringIndexScan", leaf_schema, index.key,
+                            leaf_stats, cost, table=table.name, index=index.name)
+
+    def _child_requirements(self, required: SortOrder,
+                            pushable: bool) -> list[SortOrder]:
+        """Child orders worth requesting for order-preserving unaries:
+        the requirement itself (sort below, smaller input) and ε (sort
+        above, fewer rows) — the enforcer framework arbitrates by cost."""
+        reqs = [EMPTY_ORDER]
+        if pushable and required:
+            reqs.append(required)
+        return reqs
+
+    def _select_candidates(self, expr: Select,
+                           required: SortOrder) -> Iterable[PhysicalPlan]:
+        child_schema_cols = set(self.annotator.schema_of(expr.child).names)
+        pushable = all(any(self.eq.same(a, c) for c in child_schema_cols)
+                       for a in required)
+        for child_req in self._child_requirements(required, pushable):
+            child = self.optimize_goal(expr.child, child_req)
+            if not child.schema.has_all(expr.predicate.columns()):
+                continue
+            stats = child.stats.scaled(expr.predicate.selectivity(child.stats))
+            yield make_plan("Filter", child.schema, child.order, stats,
+                            self.cost_model.filter(child.stats), [child],
+                            predicate=expr.predicate)
+
+    def _project_candidates(self, expr: Project,
+                            required: SortOrder) -> Iterable[PhysicalPlan]:
+        pushable = set(required) <= set(expr.columns)
+        for child_req in self._child_requirements(required, pushable):
+            child = self.optimize_goal(expr.child, child_req)
+            if not child.schema.has_all(expr.columns):
+                continue
+            schema = child.schema.project(list(expr.columns))
+            order = child.order.restrict_prefix_to(expr.columns, self.eq)
+            yield make_plan("Project", schema, order,
+                            child.stats.projected(list(expr.columns)),
+                            self.cost_model.project(child.stats), [child],
+                            columns=tuple(expr.columns))
+
+    def _compute_candidates(self, expr: Compute,
+                            required: SortOrder) -> Iterable[PhysicalPlan]:
+        child_cols = set(self.annotator.schema_of(expr.child).names)
+        pushable = all(any(self.eq.same(a, c) for c in child_cols)
+                       for a in required)
+        for child_req in self._child_requirements(required, pushable):
+            child = self.optimize_goal(expr.child, child_req)
+            schema = Schema(list(child.schema)
+                            + [spec for spec in self.annotator.schema_of(expr)
+                               if spec.name not in child.schema])
+            stats = StatsView(schema, child.stats.N,
+                              {c: child.stats.distinct_of(c)
+                               for c in child.schema.names}, self.eq)
+            yield make_plan("Compute", schema, child.order, stats,
+                            self.cost_model.project(child.stats), [child],
+                            outputs=tuple(expr.outputs))
+
+    # -- joins -------------------------------------------------------------------------------
+    def _join_candidates(self, expr: Join,
+                         required: SortOrder) -> Iterable[PhysicalPlan]:
+        pairs = list(expr.predicate.pairs)
+        right_for_left = dict(pairs)
+        orders = self.strategy.join_orders(self.order_ctx, expr, required)
+        for perm in orders:
+            left_req = perm
+            right_perm = SortOrder(
+                tuple(right_for_left.get(a, self._right_partner(a, pairs))
+                      for a in perm))
+            left_plan = self.optimize_goal(expr.left, left_req)
+            right_plan = self.optimize_goal(expr.right, right_perm)
+            reordered = JoinPredicate(
+                [(a, right_for_left.get(a, self._right_partner(a, pairs)))
+                 for a in perm])
+            stats = self._join_stats(expr, left_plan, right_plan)
+            schema = left_plan.schema.concat(right_plan.schema)
+            cost = self.cost_model.merge_join(left_plan.stats, right_plan.stats,
+                                              stats.N)
+            yield make_plan("MergeJoin", schema, perm, stats, cost,
+                            [left_plan, right_plan], predicate=reordered,
+                            join_type=expr.join_type, logical=expr)
+        if self.config.enable_hash_join:
+            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER)
+            right_plan = self.optimize_goal(expr.right, EMPTY_ORDER)
+            stats = self._join_stats(expr, left_plan, right_plan)
+            schema = left_plan.schema.concat(right_plan.schema)
+            cost = self.cost_model.hash_join(left_plan.stats, right_plan.stats,
+                                             stats.N)
+            yield make_plan("HashJoin", schema, EMPTY_ORDER, stats, cost,
+                            [left_plan, right_plan], predicate=expr.predicate,
+                            join_type=expr.join_type)
+        if self.config.enable_nested_loops and expr.join_type == "inner":
+            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER)
+            right_plan = self.optimize_goal(expr.right, EMPTY_ORDER)
+            stats = self._join_stats(expr, left_plan, right_plan)
+            schema = left_plan.schema.concat(right_plan.schema)
+            cost = self.cost_model.nested_loops_join(left_plan.stats,
+                                                     right_plan.stats, stats.N)
+            yield make_plan("NestedLoopsJoin", schema, left_plan.order, stats,
+                            cost, [left_plan, right_plan],
+                            predicate=expr.predicate)
+
+    @staticmethod
+    def _right_partner(attr: str, pairs: list[tuple[str, str]]) -> str:
+        for l, r in pairs:
+            if l == attr or r == attr:
+                return r
+        raise KeyError(attr)
+
+    def _join_stats(self, expr: Join, left: PhysicalPlan,
+                    right: PhysicalPlan) -> StatsView:
+        joined = left.stats.join(right.stats, list(expr.predicate.pairs), self.eq)
+        if expr.join_type == "left":
+            return joined.with_rows(max(joined.N, left.stats.N))
+        if expr.join_type == "full":
+            return joined.with_rows(max(joined.N, left.stats.N, right.stats.N))
+        return joined
+
+    # -- aggregation --------------------------------------------------------------------------
+    def _group_candidates(self, expr: GroupBy,
+                          required: SortOrder) -> Iterable[PhysicalPlan]:
+        group_cols = list(expr.group_columns)
+        reduced = list(self.fds.reduce_group_columns(group_cols))
+        for perm in self.strategy.group_orders(self.order_ctx, expr, reduced,
+                                               required):
+            child = self.optimize_goal(expr.child, perm)
+            schema = self._agg_schema(expr, child.schema)
+            if schema is None:
+                continue
+            stats = child.stats.grouped(group_cols, schema)
+            yield make_plan("SortAggregate", schema, perm, stats,
+                            self.cost_model.sort_aggregate(child.stats), [child],
+                            group_columns=tuple(group_cols),
+                            aggregates=tuple(expr.aggregates), logical=expr)
+        if self.config.enable_hash_aggregate:
+            child = self.optimize_goal(expr.child, EMPTY_ORDER)
+            schema = self._agg_schema(expr, child.schema)
+            if schema is not None:
+                stats = child.stats.grouped(group_cols, schema)
+                yield make_plan("HashAggregate", schema, EMPTY_ORDER, stats,
+                                self.cost_model.hash_aggregate(child.stats, stats),
+                                [child], group_columns=tuple(group_cols),
+                                aggregates=tuple(expr.aggregates))
+
+    def _agg_schema(self, expr: GroupBy, child_schema: Schema) -> Optional[Schema]:
+        from ..expr.aggregates import aggregate_output_schema
+        needed = set(expr.group_columns)
+        for spec in expr.aggregates:
+            needed |= spec.columns()
+        if not child_schema.has_all(needed):
+            return None
+        return aggregate_output_schema(list(expr.group_columns), child_schema,
+                                       list(expr.aggregates))
+
+    # -- set operations --------------------------------------------------------------------------
+    def _distinct_candidates(self, expr: Distinct,
+                             required: SortOrder) -> Iterable[PhysicalPlan]:
+        schema = self.annotator.schema_of(expr)
+        columns = list(schema.names)
+        for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
+                                             required):
+            child = self.optimize_goal(expr.child, perm)
+            stats = child.stats.with_rows(
+                child.stats.distinct_of_set(columns))
+            yield make_plan("Dedup", child.schema, perm, stats,
+                            self.cost_model.dedup(child.stats), [child])
+        child = self.optimize_goal(expr.child, EMPTY_ORDER)
+        stats = child.stats.with_rows(child.stats.distinct_of_set(columns))
+        yield make_plan("HashDedup", child.schema, EMPTY_ORDER, stats,
+                        self.cost_model.hash_dedup(child.stats, stats), [child])
+
+    def _union_candidates(self, expr: Union,
+                          required: SortOrder) -> Iterable[PhysicalPlan]:
+        left_schema = self.annotator.schema_of(expr.left)
+        right_schema = self.annotator.schema_of(expr.right)
+        rename = dict(zip(left_schema.names, right_schema.names))
+        columns = list(left_schema.names)
+        for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
+                                             required):
+            left = self.optimize_goal(expr.left, perm)
+            right = self.optimize_goal(expr.right, perm.translate(rename))
+            rows = left.stats.N + right.stats.N
+            stats = StatsView(left.schema, rows,
+                              {c: left.stats.distinct_of(c) for c in columns},
+                              self.eq)
+            yield make_plan("MergeUnion", left.schema, perm, stats,
+                            self.cost_model.merge_union(left.stats, right.stats),
+                            [left, right])
+        left = self.optimize_goal(expr.left, EMPTY_ORDER)
+        right = self.optimize_goal(expr.right, EMPTY_ORDER)
+        all_stats = StatsView(left.schema, left.stats.N + right.stats.N,
+                              {c: left.stats.distinct_of(c) for c in columns},
+                              self.eq)
+        union_all = make_plan("UnionAll", left.schema, EMPTY_ORDER, all_stats,
+                              0.0, [left, right])
+        dedup_stats = all_stats.with_rows(all_stats.distinct_of_set(columns))
+        yield make_plan("HashDedup", left.schema, EMPTY_ORDER, dedup_stats,
+                        self.cost_model.hash_dedup(all_stats, dedup_stats),
+                        [union_all])
+
+    def _limit_candidates(self, expr: Limit,
+                          required: SortOrder) -> Iterable[PhysicalPlan]:
+        child = self.optimize_goal(expr.child, required)
+        stats = child.stats.with_rows(min(child.stats.N, expr.k))
+        yield make_plan("Limit", child.schema, child.order, stats, 0.0,
+                        [child], k=expr.k)

@@ -1,0 +1,20 @@
+"""Storage substrate: schemas, tables, indexes, statistics, catalog."""
+
+from .catalog import Catalog, SystemParameters
+from .schema import Column, FunctionalDependency, Schema
+from .statistics import DEFAULT_BLOCK_SIZE, StatsView, TableStats, blocks_for
+from .table import Index, Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DEFAULT_BLOCK_SIZE",
+    "FunctionalDependency",
+    "Index",
+    "Schema",
+    "StatsView",
+    "SystemParameters",
+    "Table",
+    "TableStats",
+    "blocks_for",
+]

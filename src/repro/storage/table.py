@@ -1,0 +1,158 @@
+"""Base tables.
+
+A :class:`Table` couples a schema with (optionally) materialised rows, a
+clustering order and statistics.  Two flavours exist:
+
+* **materialised** — rows are present; execution benchmarks use these;
+* **stats-only** — only :class:`~repro.storage.statistics.TableStats` are
+  declared.  The optimizer never looks at rows, so stats-only tables let
+  us reproduce the paper's *estimated-cost* experiments (Figures 1, 2,
+  15, 16) at the full published sizes (2M-row catalogs, 6M-row lineitem)
+  without materialising them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.sort_order import SortOrder, EMPTY_ORDER
+from .schema import FunctionalDependency, Schema
+from .statistics import TableStats
+
+
+class Table:
+    """A named base relation."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Optional[list[tuple]] = None,
+        clustering_order: SortOrder = EMPTY_ORDER,
+        stats: Optional[TableStats] = None,
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if rows is None and stats is None:
+            raise ValueError(f"table {name}: need rows or declared stats")
+        for col in clustering_order:
+            if col not in schema:
+                raise ValueError(f"table {name}: clustering column {col!r} not in schema")
+        self.name = name
+        self.schema = schema
+        self._rows = rows
+        self.clustering_order = clustering_order
+        self.primary_key = tuple(primary_key) if primary_key else None
+        if self.primary_key:
+            for col in self.primary_key:
+                if col not in schema:
+                    raise ValueError(f"table {name}: key column {col!r} not in schema")
+        if rows is not None and clustering_order:
+            self._sort_rows_by(clustering_order)
+        self.stats = stats if stats is not None else TableStats.measure(self._rows or [], schema)
+
+    # -- rows ----------------------------------------------------------------------
+    @property
+    def is_materialized(self) -> bool:
+        return self._rows is not None
+
+    @property
+    def rows(self) -> list[tuple]:
+        if self._rows is None:
+            raise RuntimeError(
+                f"table {self.name} is stats-only (optimizer experiments); "
+                "it cannot be scanned by the executor"
+            )
+        return self._rows
+
+    def __len__(self) -> int:
+        return self.stats.num_rows if self._rows is None else len(self._rows)
+
+    def _sort_rows_by(self, order: SortOrder) -> None:
+        positions = self.schema.positions(list(order))
+        self._rows.sort(key=lambda row: tuple(row[i] for i in positions))
+
+    # -- physical properties ---------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        from .statistics import blocks_for
+        return blocks_for(len(self), self.schema.row_bytes)
+
+    def functional_dependencies(self) -> list[FunctionalDependency]:
+        """FDs induced by the primary key, if declared."""
+        if not self.primary_key:
+            return []
+        return [FunctionalDependency.key(self.primary_key, self.schema.names)]
+
+    def verify_clustering(self) -> bool:
+        """Check that materialised rows honour the clustering order."""
+        if self._rows is None or not self.clustering_order:
+            return True
+        positions = self.schema.positions(list(self.clustering_order))
+        prev = None
+        for row in self._rows:
+            key = tuple(row[i] for i in positions)
+            if prev is not None and key < prev:
+                return False
+            prev = key
+        return True
+
+    def __repr__(self) -> str:
+        kind = "materialized" if self.is_materialized else "stats-only"
+        return (f"Table({self.name}, {len(self)} rows, {kind}, "
+                f"clustered on {self.clustering_order})")
+
+
+class Index:
+    """A secondary index over a table.
+
+    ``key`` is the index sort order; ``included`` lists extra columns
+    stored in the leaves.  An index *covers* a set of attributes when
+    key ∪ included ⊇ attributes — the paper's query-covering indices
+    ("secondary indices that cover a query make it very efficient to
+    obtain desired sort orders without accessing the data pages").
+    """
+
+    def __init__(self, name: str, table: Table, key: SortOrder,
+                 included: Sequence[str] = ()) -> None:
+        for col in list(key) + list(included):
+            if col not in table.schema:
+                raise ValueError(f"index {name}: column {col!r} not in {table.name}")
+        overlap = set(included) & key.attrs()
+        if overlap:
+            raise ValueError(f"index {name}: included columns {overlap} duplicate key columns")
+        self.name = name
+        self.table = table
+        self.key = key
+        self.included = tuple(included)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """All columns available from the index leaves, key first."""
+        return self.key.as_tuple + self.included
+
+    def covers(self, attributes: Iterable[str]) -> bool:
+        return set(attributes) <= set(self.columns)
+
+    def entry_bytes(self) -> int:
+        """Average leaf-entry width: the covered columns plus a row pointer."""
+        schema = self.table.schema
+        width = sum(schema[c].avg_size for c in self.columns)
+        return width + 8  # 8-byte TID
+
+    @property
+    def leaf_schema(self) -> Schema:
+        return self.table.schema.project(list(self.columns))
+
+    def scan_rows(self) -> list[tuple]:
+        """Leaf entries (covered columns only), in index-key order."""
+        schema = self.table.schema
+        proj = schema.positions(list(self.columns))
+        key_positions = schema.positions(list(self.key))
+        rows = [tuple(r[i] for i in proj) for r in self.table.rows]
+        key_width = len(key_positions)
+        rows.sort(key=lambda row: row[:key_width])
+        return rows
+
+    def __repr__(self) -> str:
+        inc = f" include {list(self.included)}" if self.included else ""
+        return f"Index({self.name} on {self.table.name} {self.key}{inc})"

@@ -1,0 +1,106 @@
+"""Synthetic tables with controlled partial-sort-segment sizes.
+
+Experiments A2/A3 populate tables ``R0..R7`` of 10M 200-byte rows where
+``R_i`` has ``10^i`` rows per ``c1`` value — so the *partial sort
+segment* of an ORDER BY ``(c1, c2)`` over input clustered on ``c1``
+sweeps from 200 B to 2 GB.  We reproduce the construction at a
+configurable scale (Python cannot hold 80M wide tuples), keeping the
+crucial property: the sweep crosses the sort-memory boundary.
+
+Experiment B2's ``R1, R2, R3`` (identical 100K-row tables, no indexes)
+for the double full-outer-join Query 4 are also built here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.sort_order import SortOrder
+from ..storage import Catalog, Schema, SystemParameters, TableStats
+
+SEGMENT_SCHEMA = Schema.of(
+    ("c1", "int", 8),
+    ("c2", "int", 8),
+    ("c3", "str", 184),   # pads the row to the paper's 200 bytes
+)
+
+R_SCHEMA = Schema.of(
+    ("c1", "int", 8), ("c2", "int", 8), ("c3", "int", 8),
+    ("c4", "int", 8), ("c5", "int", 8),
+)
+
+
+def segmented_table_rows(num_rows: int, rows_per_segment: int,
+                         seed: int = 11) -> list[tuple]:
+    """Rows clustered on ``c1`` with exactly *rows_per_segment* rows per
+    ``c1`` value; ``c2`` random (the attribute left to sort)."""
+    rng = random.Random(seed)
+    rows = []
+    for i in range(num_rows):
+        c1 = i // rows_per_segment
+        rows.append((c1, rng.randrange(1_000_000), "p"))
+    return rows
+
+
+def segmented_catalog(num_rows: int, rows_per_segment: int, seed: int = 11,
+                      params: Optional[SystemParameters] = None,
+                      table_name: str = "r") -> Catalog:
+    """Catalog with one segment-controlled table clustered on ``c1``."""
+    catalog = Catalog(params or SystemParameters())
+    rows = segmented_table_rows(num_rows, rows_per_segment, seed)
+    catalog.create_table(table_name, SEGMENT_SCHEMA, rows=rows,
+                         clustering_order=SortOrder(["c1"]))
+    return catalog
+
+
+def identical_r_tables(num_rows: int = 10_000, seed: int = 23,
+                       params: Optional[SystemParameters] = None,
+                       num_tables: int = 3) -> Catalog:
+    """Experiment B2: identical R1..Rn, five int columns, no indexes.
+
+    All tables share the same value distribution (paper: "the tables R1,
+    R2 and R3 were identical"), drawn so the three-attribute outer joins
+    produce manageable match rates.
+    """
+    catalog = Catalog(params or SystemParameters())
+    domain = max(2, int(num_rows ** (1 / 3)))
+    for t in range(1, num_tables + 1):
+        rng = random.Random(seed)  # same seed → identical contents
+        rows = [tuple(rng.randrange(domain) for _ in range(5))
+                for _ in range(num_rows)]
+        schema = R_SCHEMA.rename({c: f"r{t}_{c}" for c in R_SCHEMA.names})
+        catalog.create_table(f"r{t}", schema, rows=rows)
+    return catalog
+
+
+def r_tables_stats_catalog(params: Optional[SystemParameters] = None,
+                           num_rows: int = 100_000) -> Catalog:
+    """Stats-only R1..R3 at the paper's 100K rows for plan-shape tests."""
+    catalog = Catalog(params or SystemParameters())
+    domain = max(2, int(num_rows ** (1 / 3)))
+    for t in (1, 2, 3):
+        schema = R_SCHEMA.rename({c: f"r{t}_{c}" for c in R_SCHEMA.names})
+        catalog.create_table(
+            f"r{t}", schema,
+            stats=TableStats(num_rows,
+                             {f"r{t}_{c}": domain for c in R_SCHEMA.names}))
+    return catalog
+
+
+def query4(catalog_prefixes: tuple[str, str, str] = ("r1", "r2", "r3")):
+    """The paper's Query 4: two chained FULL OUTER joins with the
+    attribute pairs {c4, c5} common to both join conditions.
+
+    ``R1 FOJ R2 ON (c5, c4, c3)`` then ``FOJ R3 ON (c1, c4, c5)`` —
+    written with R1's columns on the left of each pair.
+    """
+    from ..logical import Query
+    a, b, c = catalog_prefixes
+    return (Query.table(a)
+            .full_outer_join(b, on=[(f"{a}_c5", f"{b}_c5"),
+                                    (f"{a}_c4", f"{b}_c4"),
+                                    (f"{a}_c3", f"{b}_c3")])
+            .full_outer_join(c, on=[(f"{a}_c1", f"{c}_c1"),
+                                    (f"{a}_c4", f"{c}_c4"),
+                                    (f"{a}_c5", f"{c}_c5")]))

@@ -1,0 +1,142 @@
+"""Favorable-order (afm) computation tests, per Section 5.1.2's rules."""
+
+import pytest
+
+from repro.core.favorable import FavorableOrders, ford_min
+from repro.core.sort_order import EMPTY_ORDER, SortOrder
+from repro.expr import col
+from repro.expr.aggregates import count_star
+from repro.logical import Annotator, Query
+from repro.storage import Catalog, Schema, TableStats
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_table(
+        "r", Schema.of(("r_a", "int", 8), ("r_b", "int", 8), ("r_c", "int", 8)),
+        stats=TableStats(100_000, {"r_a": 50, "r_b": 1000}),
+        clustering_order=SortOrder(["r_a"]))
+    cat.create_index("r_bc", "r", SortOrder(["r_b", "r_c"]), included=["r_a"])
+    cat.create_table(
+        "s", Schema.of(("s_a", "int", 8), ("s_b", "int", 8), ("s_d", "int", 8)),
+        stats=TableStats(50_000, {"s_a": 50, "s_b": 1000}),
+        clustering_order=SortOrder(["s_b"]))
+    return cat
+
+
+def favorable_for(catalog, query):
+    ann = Annotator(catalog, query.expr)
+    return FavorableOrders(catalog, ann), ann
+
+
+class TestBaseRelation:
+    def test_clustering_and_covering_index(self, catalog):
+        q = Query.table("r")
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        assert SortOrder(["r_a"]) in afm            # clustering order
+        assert SortOrder(["r_b", "r_c"]) in afm     # covering index key
+
+    def test_non_covering_index_excluded(self, catalog):
+        # Make the index non-covering by referencing a column it lacks…
+        # r_bc includes all three columns, so build a query on a table
+        # where the index misses a used column.
+        cat = Catalog()
+        cat.create_table("t", Schema.of("a", "b", "c"),
+                         stats=TableStats(1000, {}))
+        cat.create_index("t_a", "t", SortOrder(["a"]))  # covers only {a}
+        q = Query.table("t").select("a", "b")
+        fav, _ = favorable_for(cat, q)
+        assert SortOrder(["a"]) not in fav.afm(q.expr.child)
+
+    def test_no_orders_for_heap_table(self):
+        cat = Catalog()
+        cat.create_table("h", Schema.of("a"), stats=TableStats(10, {}))
+        q = Query.table("h")
+        fav, _ = favorable_for(cat, q)
+        assert fav.afm(q.expr) == ()
+
+
+class TestSelectProject:
+    def test_select_passthrough(self, catalog):
+        q = Query.table("r").where(col("r_a").eq(1))
+        fav, _ = favorable_for(catalog, q)
+        assert fav.afm(q.expr) == fav.afm(q.expr.children[0])
+
+    def test_project_prefix(self, catalog):
+        q = Query.table("r").select("r_b", "r_a")
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        # (r_b, r_c) truncates to (r_b); (r_a) survives.
+        assert SortOrder(["r_a"]) in afm
+        assert SortOrder(["r_b"]) in afm
+        assert SortOrder(["r_b", "r_c"]) not in afm
+
+
+class TestJoin:
+    def test_join_extends_prefixes_over_attrs(self, catalog):
+        q = Query.table("r").join("s", on=[("r_a", "s_a"), ("r_b", "s_b")])
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        # clustering (r_a) → (r_a, r_b); s clustering (s_b) → (s_b ~ r_b, r_a)
+        assert any(o.as_tuple == ("r_a", "r_b") for o in afm)
+        assert any(o.as_tuple[0] in ("s_b", "r_b") and len(o) >= 2 for o in afm)
+
+    def test_join_keeps_input_orders(self, catalog):
+        q = Query.table("r").join("s", on=[("r_a", "s_a")])
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        assert SortOrder(["r_a"]) in afm           # NL join propagates outer
+        assert SortOrder(["r_b", "r_c"]) in afm
+
+    def test_afm_on_restriction(self, catalog):
+        q = Query.table("r").join("s", on=[("r_a", "s_a"), ("r_b", "s_b")])
+        fav, _ = favorable_for(catalog, q)
+        restricted = fav.afm_on(q.expr.left, {"r_a", "r_b", "s_a", "s_b"})
+        assert SortOrder(["r_a"]) in restricted
+        for o in restricted:
+            assert o.attrs() <= {"r_a", "r_b"}
+
+
+class TestGroupBy:
+    def test_group_extends_over_group_columns(self, catalog):
+        q = Query.table("r").group_by(["r_b", "r_a"], count_star("n"))
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        # Clustering (r_a) prefix extended over {r_a, r_b}.
+        assert any(o.as_tuple == ("r_a", "r_b") for o in afm)
+        # Arbitrary permutation from the ε seed also present.
+        assert all(o.attrs() <= {"r_a", "r_b"} for o in afm)
+
+
+class TestMemoisationAndCaps:
+    def test_memoised(self, catalog):
+        q = Query.table("r")
+        fav, _ = favorable_for(catalog, q)
+        assert fav.afm(q.expr) is fav.afm(q.expr)
+
+    def test_dedupe(self, catalog):
+        q = Query.table("r").where(col("r_a").eq(1)).where(col("r_b").eq(2))
+        fav, _ = favorable_for(catalog, q)
+        afm = fav.afm(q.expr)
+        assert len(afm) == len(set(afm))
+
+
+class TestFordMin:
+    def test_prefix_pruning(self):
+        # cbp values: obtaining (a) costs 10; (a,b) costs 10 + enforcement 5.
+        orders = {SortOrder(["a"]): 10.0, SortOrder(["a", "b"]): 15.0}
+        kept = ford_min(orders, coe_from=lambda o1, o2: 5.0)
+        assert kept == {SortOrder(["a"])}
+
+    def test_subsuming_order_pruned_at_equal_cost(self):
+        # (a,b) costs the same as (a): keep the longer one only.
+        orders = {SortOrder(["a"]): 10.0, SortOrder(["a", "b"]): 10.0}
+        kept = ford_min(orders, coe_from=lambda o1, o2: 100.0)
+        assert kept == {SortOrder(["a", "b"])}
+
+    def test_independent_orders_kept(self):
+        orders = {SortOrder(["a"]): 10.0, SortOrder(["b"]): 12.0}
+        kept = ford_min(orders, coe_from=lambda o1, o2: 1.0)
+        assert kept == set(orders)

@@ -1,0 +1,237 @@
+"""End-to-end optimizer tests: enforcer placement, plan correctness vs
+executed results, strategy dominance invariants, memoisation."""
+
+import pytest
+
+from repro.core.sort_order import EMPTY_ORDER, SortOrder
+from repro.engine import ExecutionContext
+from repro.expr import col
+from repro.expr.aggregates import agg_sum, count_star
+from repro.logical import Query
+from repro.optimizer import Optimizer, OptimizerConfig
+from repro.storage import Catalog, Schema, SystemParameters, TableStats
+from tests.conftest import reference_query3
+
+ALL_STRATEGIES = ["pyro", "pyro-p", "pyro-o", "pyro-o-", "pyro-e"]
+
+
+@pytest.fixture
+def stats_catalog():
+    cat = Catalog()
+    cat.create_table(
+        "r", Schema.of(("a", "int", 8), ("b", "int", 8), ("p", "str", 80)),
+        stats=TableStats(2_000_000, {"a": 50, "b": 5000}),
+        clustering_order=SortOrder(["a"]))
+    cat.create_table(
+        "s", Schema.of(("x", "int", 8), ("y", "int", 8), ("q", "str", 60)),
+        stats=TableStats(1_000_000, {"x": 50, "y": 5000}),
+        clustering_order=SortOrder(["y", "x"]))
+    return cat
+
+
+class TestEnforcers:
+    def test_satisfied_requirement_no_sort(self, stats_catalog):
+        q = Query.table("r").order_by("a")
+        plan = Optimizer(stats_catalog).optimize(q)
+        assert plan.op in ("TableScan", "ClusteringIndexScan")
+
+    def test_partial_sort_enforcer_used(self, stats_catalog):
+        q = Query.table("r").order_by("a", "b")
+        plan = Optimizer(stats_catalog).optimize(q)
+        assert plan.op == "PartialSort"
+        assert plan.arg("prefix") == SortOrder(["a"])
+        assert plan.children[0].op == "TableScan"
+
+    def test_full_sort_when_no_prefix(self, stats_catalog):
+        q = Query.table("r").order_by("b")
+        plan = Optimizer(stats_catalog).optimize(q)
+        assert plan.op == "Sort"
+
+    def test_partial_disabled_uses_full_sort(self, stats_catalog):
+        q = Query.table("r").order_by("a", "b")
+        plan = Optimizer(stats_catalog, strategy="pyro-o-").optimize(q)
+        assert plan.op == "Sort"
+
+    def test_partial_sort_cheaper_than_full(self, stats_catalog):
+        q = Query.table("r").order_by("a", "b")
+        partial = Optimizer(stats_catalog).optimize(q).total_cost
+        full = Optimizer(stats_catalog, strategy="pyro-o-").optimize(q).total_cost
+        assert partial < full
+
+    def test_fd_reduced_requirement(self):
+        cat = Catalog()
+        cat.create_table(
+            "t", Schema.of("k1", "k2", "v"),
+            stats=TableStats(10_000, {"k1": 100, "k2": 100}),
+            clustering_order=SortOrder(["k1", "k2"]),
+            primary_key=["k1", "k2"])
+        # ORDER BY (k1, k2, v): v is determined by the key → no sort at all.
+        plan = Optimizer(cat).optimize(Query.table("t").order_by("k1", "k2", "v"))
+        assert plan.op in ("TableScan", "ClusteringIndexScan")
+
+
+class TestStrategyDominance:
+    """Cost invariants that must hold query-independently."""
+
+    def queries(self, cat):
+        yield Query.table("r").join("s", on=[("a", "x"), ("b", "y")]).order_by("a")
+        yield (Query.table("r").join("s", on=[("a", "x"), ("b", "y")])
+               .group_by(["a", "b"], count_star("n")))
+        yield Query.table("r").join("s", on=[("b", "y"), ("a", "x")])
+
+    def test_pyro_e_lower_bound(self, stats_catalog):
+        """Exhaustive enumeration is never beaten by any other strategy."""
+        for q in self.queries(stats_catalog):
+            exhaustive = Optimizer(stats_catalog, strategy="pyro-e",
+                                   refine=False).optimize(q).total_cost
+            for s in ("pyro", "pyro-p", "pyro-o"):
+                other = Optimizer(stats_catalog, strategy=s,
+                                  refine=False).optimize(q).total_cost
+                assert exhaustive <= other * (1 + 1e-9), (s, q)
+
+    def test_pyro_o_at_least_as_good_as_arbitrary(self, stats_catalog):
+        for q in self.queries(stats_catalog):
+            pyro_o = Optimizer(stats_catalog, strategy="pyro-o",
+                               refine=False).optimize(q).total_cost
+            pyro = Optimizer(stats_catalog, strategy="pyro",
+                             refine=False).optimize(q).total_cost
+            assert pyro_o <= pyro * (1 + 1e-9)
+
+    def test_partial_sort_never_hurts(self, stats_catalog):
+        for q in self.queries(stats_catalog):
+            with_partial = Optimizer(stats_catalog, strategy="pyro-o",
+                                     refine=False).optimize(q).total_cost
+            without = Optimizer(stats_catalog, strategy="pyro-o-",
+                                refine=False).optimize(q).total_cost
+            assert with_partial <= without * (1 + 1e-9)
+
+    def test_refinement_never_regresses(self, stats_catalog):
+        for q in self.queries(stats_catalog):
+            for s in ALL_STRATEGIES:
+                unrefined = Optimizer(stats_catalog, strategy=s,
+                                      refine=False).optimize(q).total_cost
+                refined = Optimizer(stats_catalog, strategy=s,
+                                    refine=True).optimize(q).total_cost
+                assert refined <= unrefined * (1 + 1e-9)
+
+
+class TestPlanExecution:
+    """Every strategy's plan must produce the same, correct result."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_query3_results_identical(self, tpch_mini, query3, strategy):
+        plan = Optimizer(tpch_mini, strategy=strategy).optimize(query3)
+        ctx = ExecutionContext(tpch_mini, check_orders=True)
+        rows = plan.execute(tpch_mini, ctx)
+        expected = reference_query3(tpch_mini)
+        assert sorted(rows) == sorted(expected)
+        partkeys = [r[1] for r in rows]
+        assert partkeys == sorted(partkeys)  # ORDER BY ps_partkey honoured
+
+    def test_join_plan_executes(self, small_catalog):
+        q = (Query.table("left").join("right", on=[("a", "c"), ("b", "d")])
+             .select("a", "b", "x", "y").order_by("a", "b"))
+        plan = Optimizer(small_catalog).optimize(q)
+        rows = plan.execute(small_catalog,
+                            ExecutionContext(small_catalog, check_orders=True))
+        lrows = small_catalog.table("left").rows
+        rrows = small_catalog.table("right").rows
+        expected = sorted((l[0], l[1], l[2], r[2]) for l in lrows for r in rrows
+                          if (l[0], l[1]) == (r[0], r[1]))
+        assert sorted(rows) == expected
+
+    def test_distinct_plan(self, small_catalog):
+        q = Query.table("left").select("a", "b").distinct()
+        plan = Optimizer(small_catalog).optimize(q)
+        rows = plan.execute(small_catalog)
+        expected = {(r[0], r[1]) for r in small_catalog.table("left").rows}
+        assert set(rows) == expected
+        assert len(rows) == len(expected)
+
+    def test_union_plan(self, small_catalog):
+        q = Query.table("left").select("a", "b").union(
+            Query.table("right").select("c", "d"))
+        plan = Optimizer(small_catalog).optimize(q)
+        rows = plan.execute(small_catalog)
+        l = {(r[0], r[1]) for r in small_catalog.table("left").rows}
+        r = {(x[0], x[1]) for x in small_catalog.table("right").rows}
+        assert set(rows) == l | r
+        assert len(rows) == len(l | r)
+
+    def test_limit_plan(self, small_catalog):
+        q = Query.table("left").order_by("a", "b").limit(5)
+        plan = Optimizer(small_catalog).optimize(q)
+        rows = plan.execute(small_catalog)
+        assert len(rows) == 5
+        keys = [(r[0], r[1]) for r in rows]
+        assert keys == sorted((r[0], r[1])
+                              for r in small_catalog.table("left").rows)[:5]
+
+    def test_left_outer_join(self, small_catalog):
+        q = Query.table("left").left_outer_join("right", on=[("a", "c"),
+                                                             ("b", "d")])
+        plan = Optimizer(small_catalog).optimize(q)
+        rows = plan.execute(small_catalog)
+        lrows = small_catalog.table("left").rows
+        rrows = small_catalog.table("right").rows
+        expected = []
+        for l in lrows:
+            matches = [r for r in rrows if (l[0], l[1]) == (r[0], r[1])]
+            if matches:
+                expected.extend(l + r for r in matches)
+            else:
+                expected.append(l + (None, None, None))
+        assert sorted(rows, key=repr) == sorted(expected, key=repr)
+
+
+class TestPlanStructure:
+    def test_covering_index_chosen_when_narrow(self, tpch_mini, query3):
+        plan = Optimizer(tpch_mini, enable_hash_join=False,
+                         enable_hash_aggregate=False).optimize(query3)
+        scans = plan.find_all("CoveringIndexScan")
+        assert len(scans) == 2  # both sides read from covering indexes
+
+    def test_merge_join_on_suppkey_first(self, query3):
+        """Paper Fig. 10(b): the cost-based choice is (suppkey, partkey),
+        exploiting both covering indexes' partial order."""
+        from repro.workloads import add_query3_indexes, tpch_stats_catalog
+        cat = tpch_stats_catalog()
+        add_query3_indexes(cat)
+        plan = Optimizer(cat, enable_hash_join=False,
+                         enable_hash_aggregate=False).optimize(query3)
+        joins = plan.find_all("MergeJoin")
+        assert len(joins) == 1
+        assert joins[0].order.as_tuple in (("ps_suppkey", "ps_partkey"),
+                                           ("l_suppkey", "l_partkey"))
+        partial_sorts = plan.find_all("PartialSort")
+        assert len(partial_sorts) >= 2
+
+    def test_memo_reuses_subgoals(self, stats_catalog):
+        from repro.logical import Annotator
+        from repro.optimizer.volcano import OptimizationRun
+        from repro.core.interesting import make_strategy
+        q = Query.table("r").join("s", on=[("a", "x"), ("b", "y")])
+        strategy, _ = make_strategy("pyro-e")
+        run = OptimizationRun(stats_catalog, q.expr, strategy, OptimizerConfig())
+        run.optimize_goal(q.expr, EMPTY_ORDER)
+        first = run.goals_examined
+        run.optimize_goal(q.expr, EMPTY_ORDER)
+        assert run.goals_examined == first  # fully memoised
+
+    def test_output_schema_matches_logical(self, tpch_mini, query3):
+        plan = Optimizer(tpch_mini).optimize(query3)
+        assert plan.schema.names == ("ps_suppkey", "ps_partkey",
+                                     "ps_availqty", "sum_qty")
+
+    def test_explain_contains_costs(self, stats_catalog):
+        q = Query.table("r").order_by("a", "b")
+        text = Optimizer(stats_catalog).optimize(q).explain()
+        assert "cost=" in text and "PartialSort" in text
+
+    def test_unknown_option_rejected(self, stats_catalog):
+        with pytest.raises(TypeError):
+            Optimizer(stats_catalog, bogus_flag=True)
+
+    def test_cost_of_helper(self, stats_catalog):
+        q = Query.table("r").order_by("b")
+        assert Optimizer(stats_catalog).cost_of(q) > 0

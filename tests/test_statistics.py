@@ -1,0 +1,143 @@
+"""StatsView derivation tests: distincts, keys, group statistics, joins."""
+
+import pytest
+
+from repro.core.sort_order import AttributeEquivalence
+from repro.storage import Schema, StatsView, TableStats
+
+
+def view(schema_cols, n, distinct, keys=(), groups=None):
+    schema = Schema.of(*schema_cols)
+    return StatsView(schema, n, distinct, None,
+                     [frozenset(k) for k in keys], groups or {})
+
+
+class TestDistinct:
+    def test_single_column(self):
+        v = view(["a", "b"], 100, {"a": 10})
+        assert v.distinct_of("a") == 10
+        assert v.distinct_of("b") == 100  # unknown → unique
+
+    def test_capped_by_rows(self):
+        v = view(["a"], 5, {"a": 100})
+        assert v.distinct_of("a") == 5
+
+    def test_set_independence(self):
+        v = view(["a", "b"], 10_000, {"a": 10, "b": 20})
+        assert v.distinct_of_set(["a", "b"]) == 200
+
+    def test_set_capped(self):
+        v = view(["a", "b"], 50, {"a": 10, "b": 20})
+        assert v.distinct_of_set(["a", "b"]) == 50
+
+    def test_group_statistic_wins(self):
+        v = view(["a", "b"], 10_000, {"a": 100, "b": 100},
+                 groups={frozenset({"a", "b"}): 150})
+        assert v.distinct_of_set(["a", "b"]) == 150
+
+    def test_key_makes_set_unique(self):
+        v = view(["a", "b", "c"], 1000, {"a": 10, "b": 10},
+                 keys=[{"a", "b"}])
+        assert v.distinct_of_set(["a", "b"]) == 1000
+        assert v.distinct_of_set(["a", "b", "c"]) == 1000  # superset of key
+
+    def test_equivalence_fallback(self):
+        eq = AttributeEquivalence()
+        eq.add_equivalence("a", "x")
+        schema = Schema.of("a")
+        v = StatsView(schema, 100, {"a": 7}, eq)
+        assert v.distinct_of("x") == 7
+
+    def test_empty(self):
+        v = view(["a"], 0, {})
+        assert v.distinct_of("a") == 0
+        assert v.distinct_of_set(["a"]) == 0
+        assert v.distinct_of_set([]) == 1
+
+
+class TestDerivation:
+    def test_scaled(self):
+        v = view(["a"], 1000, {"a": 100})
+        half = v.scaled(0.5)
+        assert half.N == 500
+        assert half.distinct_of("a") == 100
+
+    def test_scaled_caps_distinct(self):
+        v = view(["a"], 1000, {"a": 800})
+        tiny = v.scaled(0.01)
+        assert tiny.distinct_of("a") == 10  # capped at N
+
+    def test_projected_drops_keys(self):
+        v = view(["a", "b"], 100, {"a": 10}, keys=[{"a", "b"}])
+        p = v.projected(["a"])
+        assert p.schema.names == ("a",)
+        assert p.keys == ()
+
+    def test_grouped(self):
+        v = view(["a", "b"], 1000, {"a": 10, "b": 5})
+        out_schema = Schema.of("a", "b", "cnt")
+        g = v.grouped(["a", "b"], out_schema)
+        assert g.N == 50
+        assert frozenset({"a", "b"}) in g.keys
+
+    def test_B_blocks(self):
+        v = StatsView(Schema.of(("a", "int", 400)), 100, {})
+        assert v.B(4096) == 10
+
+
+class TestJoinEstimation:
+    def test_independent_join(self):
+        l = view(["a"], 1000, {"a": 100})
+        r = view(["b"], 500, {"b": 50})
+        j = l.join(r, [("a", "b")])
+        assert j.N == 1000 * 500 / 100
+
+    def test_fk_join_via_key(self):
+        """Pair set covering the build side's key ⇒ FK-style cardinality."""
+        dim = view(["pk", "payload"], 800, {"pk": 800}, keys=[{"pk"}])
+        fact = view(["fk"], 10_000, {"fk": 800})
+        j = fact.join(dim, [("fk", "pk")])
+        assert j.N == pytest.approx(10_000)
+
+    def test_correlated_pair_group_stat(self):
+        """The TPC-H (partkey, suppkey) situation: group statistic keeps the
+        estimate at N_fact instead of collapsing it."""
+        ps = view(["pk", "sk"], 800, {"pk": 200, "sk": 100}, keys=[{"pk", "sk"}])
+        li = view(["lpk", "lsk"], 10_000, {"lpk": 200, "lsk": 100},
+                  groups={frozenset({"lpk", "lsk"}): 800})
+        j = li.join(ps, [("lpk", "pk"), ("lsk", "sk")])
+        assert j.N == pytest.approx(10_000)
+
+    def test_key_propagation(self):
+        dim = view(["pk", "d"], 100, {"pk": 100}, keys=[{"pk"}])
+        fact = view(["fk", "fid"], 1000, {"fk": 100, "fid": 1000},
+                    keys=[{"fid"}])
+        j = fact.join(dim, [("fk", "pk")])
+        assert frozenset({"fid"}) in j.keys   # dim key covered ⇒ fact keys live
+
+    def test_join_distinct_of_join_columns(self):
+        l = view(["a"], 1000, {"a": 100})
+        r = view(["b"], 500, {"b": 50})
+        j = l.join(r, [("a", "b")])
+        assert j.distinct_of("a") == 50
+        assert j.distinct_of("b") == 50
+
+    def test_empty_side(self):
+        l = view(["a"], 0, {})
+        r = view(["b"], 100, {"b": 10})
+        assert l.join(r, [("a", "b")]).N == 0
+
+
+class TestTableStats:
+    def test_measure(self):
+        schema = Schema.of("a", "b")
+        stats = TableStats.measure([(1, 1), (1, 2), (2, 2)], schema)
+        assert stats.num_rows == 3
+        assert stats.distinct_of("a") == 2
+
+    def test_declared_defaults(self):
+        stats = TableStats(100)
+        assert stats.distinct_of("anything") == 100
+
+    def test_zero_rows(self):
+        assert TableStats(0).distinct_of("a") == 0
