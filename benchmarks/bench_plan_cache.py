@@ -1,0 +1,170 @@
+"""Serving-layer benchmark: plan-cache hit rate / optimize-time speedup,
+and the goals-examined reduction from cost-bounded (branch-and-bound)
+search.
+
+Two modes:
+
+* ``pytest benchmarks/bench_plan_cache.py`` — full run with the shared
+  results sink (appends tables to ``results/benchmarks.txt``);
+* ``python benchmarks/bench_plan_cache.py [--smoke]`` — standalone
+  script (used by CI's fast smoke job), no pytest required.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import format_table
+from repro.core.interesting import make_strategy
+from repro.core.sort_order import EMPTY_ORDER
+from repro.expr import col
+from repro.expr.aggregates import agg_sum
+from repro.logical import Query
+from repro.logical.algebra import OrderBy
+from repro.optimizer import OptimizerConfig
+from repro.optimizer.volcano import OptimizationRun
+from repro.service import QuerySession
+from repro.storage import SystemParameters
+from repro.workloads import (
+    add_query3_indexes,
+    query4,
+    query5,
+    query6,
+    r_tables_stats_catalog,
+    tpch_stats_catalog,
+    trading_stats_catalog,
+)
+
+
+def _query3():
+    return (Query.table("partsupp")
+            .join("lineitem", on=[("ps_suppkey", "l_suppkey"),
+                                  ("ps_partkey", "l_partkey")])
+            .where(col("l_linestatus").eq("O"))
+            .group_by(["ps_availqty", "ps_partkey", "ps_suppkey"],
+                      agg_sum(col("l_quantity"), "sum_qty"))
+            .having(col("sum_qty").gt(col("ps_availqty")))
+            .select("ps_suppkey", "ps_partkey", "ps_availqty", "sum_qty")
+            .order_by("ps_partkey"))
+
+
+def bench_cases():
+    cat3 = tpch_stats_catalog()
+    add_query3_indexes(cat3)
+    return [
+        ("Q3", cat3, _query3()),
+        ("Q4", r_tables_stats_catalog(
+            params=SystemParameters(sort_memory_blocks=250)), query4()),
+        ("Q5", trading_stats_catalog(), query5()),
+        ("Q6", trading_stats_catalog(), query6()),
+    ]
+
+
+# -- plan-cache serving ------------------------------------------------------------------
+def run_cache_benchmark(repeats: int = 25):
+    """Serve each bench query *repeats* times through a QuerySession.
+
+    Returns per-query rows: cold prepare ms, warm (cached) prepare ms,
+    speedup, and the session-wide hit rate.
+    """
+    rows = []
+    for name, cat, query in bench_cases():
+        session = QuerySession(cat)
+        start = time.perf_counter()
+        cold = session.prepare(query)
+        cold_ms = (time.perf_counter() - start) * 1_000.0
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            warm = session.prepare(query)
+            assert warm.from_cache
+            assert warm.total_cost == cold.total_cost
+        warm_ms = (time.perf_counter() - start) * 1_000.0 / repeats
+
+        stats = session.cache.stats
+        rows.append([name, round(cold_ms, 3), round(warm_ms, 4),
+                     round(cold_ms / warm_ms, 1) if warm_ms else float("inf"),
+                     f"{stats.hit_rate:.3f}"])
+    return rows
+
+
+# -- cost-bounded search -----------------------------------------------------------------
+def _goals(cat, query, strategy: str, prune: bool):
+    expr = query.expr
+    required = EMPTY_ORDER
+    if isinstance(expr, OrderBy):
+        required, expr = expr.order, expr.child
+    strat, partial = make_strategy(strategy)
+    config = OptimizerConfig(strategy=strategy, partial_sort_enforcers=partial,
+                             cost_bound_pruning=prune)
+    run = OptimizationRun(cat, expr, strat, config)
+    plan = run.optimize_goal(expr, required)
+    return plan.total_cost, run.goals_examined
+
+
+def run_pruning_benchmark(strategies=("pyro-o", "pyro-e")):
+    """goals_examined with branch-and-bound on vs off, per query/strategy.
+
+    Asserts the chosen plan cost is bit-identical either way.
+    """
+    rows = []
+    any_reduction = False
+    for strategy in strategies:
+        for name, cat, query in bench_cases():
+            cost_on, goals_on = _goals(cat, query, strategy, True)
+            cost_off, goals_off = _goals(cat, query, strategy, False)
+            assert cost_on == cost_off, (strategy, name, cost_on, cost_off)
+            assert goals_on <= goals_off, (strategy, name)
+            if goals_on < goals_off:
+                any_reduction = True
+            pct = 100.0 * (goals_off - goals_on) / goals_off if goals_off else 0
+            rows.append([strategy, name, goals_off, goals_on,
+                         f"-{pct:.1f}%"])
+    assert any_reduction, "cost-bounded search reduced no bench query"
+    return rows
+
+
+CACHE_HEADERS = ["query", "cold prepare ms", "cached prepare ms",
+                 "speedup", "hit rate"]
+PRUNE_HEADERS = ["strategy", "query", "goals (exact)", "goals (bounded)",
+                 "reduction"]
+
+
+# -- pytest entry points -----------------------------------------------------------------
+def test_plan_cache_serving(benchmark, results_sink):
+    rows = benchmark.pedantic(run_cache_benchmark, rounds=1, iterations=1)
+    for row in rows:
+        assert row[3] > 1.0, row  # cached prepare must beat cold prepare
+        assert float(row[4]) > 0.9, row  # ≥ repeats/(repeats+1) hit rate
+    results_sink(format_table(
+        CACHE_HEADERS, rows,
+        title="Serving layer — plan-cache prepare latency and hit rate"))
+    benchmark.extra_info["plan_cache"] = rows
+
+
+def test_cost_bounded_search(benchmark, results_sink):
+    rows = benchmark.pedantic(run_pruning_benchmark, rounds=1, iterations=1)
+    results_sink(format_table(
+        PRUNE_HEADERS, rows,
+        title=("Cost-bounded search — subgoals examined, branch-and-bound "
+               "off vs on (plan costs identical)")))
+    benchmark.extra_info["cost_bounded"] = rows
+
+
+# -- standalone / CI smoke ---------------------------------------------------------------
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    repeats = 3 if smoke else 25
+    strategies = ("pyro-o",) if smoke else ("pyro-o", "pyro-e")
+    print(format_table(CACHE_HEADERS, run_cache_benchmark(repeats),
+                       title="Plan-cache serving"))
+    print()
+    print(format_table(PRUNE_HEADERS, run_pruning_benchmark(strategies),
+                       title="Cost-bounded search"))
+    print("\nok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,8 +33,10 @@ def _catalog_and_query(k: int):
 
 def _time_optimization(strategy: str, k: int) -> float:
     cat, q = _catalog_and_query(k)
+    # The figure reproduces the paper's *unpruned* Volcano search effort,
+    # so the serving-oriented branch-and-bound pruning is switched off.
     opt = Optimizer(cat, strategy=strategy, enable_hash_join=False,
-                    refine=False)
+                    refine=False, cost_bound_pruning=False)
     seconds, _ = measure(lambda: opt.optimize(q))
     return seconds * 1000.0  # ms
 
@@ -87,7 +89,8 @@ def test_fig16_goal_counts(benchmark, results_sink):
         strat, partial = make_strategy(strategy)
         config = OptimizerConfig(strategy=strategy,
                                  partial_sort_enforcers=partial,
-                                 enable_hash_join=False)
+                                 enable_hash_join=False,
+                                 cost_bound_pruning=False)
         run = OptimizationRun(cat, q.expr, strat, config)
         run.optimize_goal(q.expr, EMPTY_ORDER)
         return run.goals_examined

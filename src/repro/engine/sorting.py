@@ -99,7 +99,10 @@ def srs_sort(rows: Iterable[tuple], key_fn: KeyFn, ctx: ExecutionContext,
     ``B(e) ≤ M`` branch.  Otherwise runs go to the simulated disk and are
     merged, charging every transfer.
     """
-    capacity = ctx.memory_capacity_rows(row_bytes)
+    # A row wider than sort memory must not yield capacity 0: the first
+    # row would become ``overflow_row`` against an empty heap and the
+    # replacement-selection loop would silently drop the whole input.
+    capacity = max(1, ctx.memory_capacity_rows(row_bytes))
     counter = ctx.comparisons
     heap: list[tuple[int, CountedKey, int, tuple]] = []
     seq = 0
@@ -167,7 +170,9 @@ def mrs_sort(rows: Iterable[tuple], segment_key_fn: KeyFn, suffix_key_fn: KeyFn,
     approaches the whole input (the convergence at the right edge of
     Fig. 9).
     """
-    capacity = ctx.memory_capacity_rows(row_bytes)
+    # Same ≥ 1 guard as srs_sort: a zero capacity would spill a run per
+    # row (and an empty run first) instead of degrading gracefully.
+    capacity = max(1, ctx.memory_capacity_rows(row_bytes))
     counter = ctx.comparisons
     full_key_fn = full_key_fn or suffix_key_fn
 

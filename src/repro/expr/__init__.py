@@ -9,8 +9,10 @@ from .expressions import (
     Expression,
     JoinPredicate,
     Or,
+    Param,
     Predicate,
     col,
+    param,
     wrap,
 )
 from .aggregates import AggregateFunction, AggSpec, AGGREGATES
@@ -27,7 +29,9 @@ __all__ = [
     "Expression",
     "JoinPredicate",
     "Or",
+    "Param",
     "Predicate",
     "col",
+    "param",
     "wrap",
 ]

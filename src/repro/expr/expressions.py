@@ -122,6 +122,37 @@ class Const(Expression):
 
 
 @dataclass(frozen=True)
+class Param(Expression):
+    """A named query parameter (``:name`` placeholder).
+
+    Parameters make a query *preparable*: the optimizer plans the
+    template once (selectivity estimates in this model never depend on
+    literal values, so the plan is bind-independent) and the serving
+    layer substitutes :class:`Const` values at execution time — see
+    :func:`repro.service.session.bind_expression`.  Compiling an unbound
+    parameter is an error.
+    """
+
+    name: str
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def compile(self, schema: Schema) -> RowFn:
+        raise ValueError(
+            f"unbound query parameter :{self.name}; execute the query "
+            "through a prepared statement that supplies a binding")
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+
+def param(name: str) -> Param:
+    """Convenience constructor for a named query parameter."""
+    return Param(name)
+
+
+@dataclass(frozen=True)
 class BinOp(Expression):
     """Arithmetic over two sub-expressions."""
 
@@ -178,10 +209,10 @@ class Comparison(Predicate):
 
     def selectivity(self, stats) -> float:
         if self.op == "=":
-            # col = const → 1/D(col); col = col handled by join estimation.
-            if isinstance(self.left, Col) and isinstance(self.right, Const):
+            # col = const/param → 1/D(col); col = col by join estimation.
+            if isinstance(self.left, Col) and isinstance(self.right, (Const, Param)):
                 return 1.0 / stats.distinct_of(self.left.name)
-            if isinstance(self.right, Col) and isinstance(self.left, Const):
+            if isinstance(self.right, Col) and isinstance(self.left, (Const, Param)):
                 return 1.0 / stats.distinct_of(self.right.name)
             return 0.1
         if self.op == "!=":

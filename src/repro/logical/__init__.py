@@ -16,6 +16,7 @@ from .algebra import (
 )
 from .builder import Query
 from .fds import FDSet, query_fds
+from .fingerprint import canonical_text, logical_fingerprint
 
 __all__ = [
     "Annotator",
@@ -32,5 +33,7 @@ __all__ = [
     "Query",
     "Select",
     "Union",
+    "canonical_text",
+    "logical_fingerprint",
     "query_fds",
 ]

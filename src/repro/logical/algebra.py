@@ -313,9 +313,7 @@ class Annotator:
             return child.with_rows(child.distinct_of_set(child.schema.names))
         if isinstance(expr, Union):
             lstats, rstats = self.stats_of(expr.left), self.stats_of(expr.right)
-            return StatsView(self.schema_of(expr), lstats.N + rstats.N,
-                             {c: lstats.distinct_of(c) for c in lstats.schema.names},
-                             self.eq)
+            return lstats.union(rstats, self.eq)
         if isinstance(expr, (OrderBy, Limit)):
             child = self.stats_of(expr.children[0])
             if isinstance(expr, Limit):

@@ -22,7 +22,8 @@ one search engine.  Phase-2 refinement (Section 5.2.2) lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 from ..core.favorable import FavorableOrders
@@ -73,6 +74,24 @@ class OptimizerConfig:
     enable_nested_loops: bool = False
     enable_hash_aggregate: bool = True
     use_favorable_orders_everywhere: bool = True
+    #: Branch-and-bound pruning: skip subgoals/enforcers that provably
+    #: cannot beat the best plan found so far for the current goal.  The
+    #: chosen plan is identical either way; only search effort changes.
+    cost_bound_pruning: bool = True
+
+
+def split_required_order(query, required_order: Optional[SortOrder] = None
+                         ) -> tuple[LogicalExpr, SortOrder]:
+    """Normalize an optimizer input: unwrap :class:`Query`, and turn a
+    root :class:`OrderBy` into the required output order.  Shared by
+    :meth:`Optimizer.optimize` and the serving layer's plan-cache keying
+    (:mod:`repro.service.session`) so the two can never diverge."""
+    expr = query.expr if isinstance(query, Query) else query
+    required = required_order or EMPTY_ORDER
+    if isinstance(expr, OrderBy) and not required:
+        required = expr.order
+        expr = expr.child
+    return expr, required
 
 
 class Optimizer:
@@ -82,12 +101,16 @@ class Optimizer:
                  config: Optional[OptimizerConfig] = None, **overrides) -> None:
         if config is None:
             config = OptimizerConfig(strategy=strategy)
+        else:
+            config = replace(config)  # never mutate the caller's config
         for key, value in overrides.items():
             if not hasattr(config, key):
                 raise TypeError(f"unknown optimizer option {key!r}")
             setattr(config, key, value)
         strategy_obj, partial = make_strategy(config.strategy)
-        if config.strategy.lower() == "pyro-o-":
+        if not partial:
+            # Honour the registry flag: any partial-disabled variant in
+            # STRATEGY_VARIANTS (not just "pyro-o-") loses its enforcers.
             config.partial_sort_enforcers = False
         self.catalog = catalog
         self.config = config
@@ -101,11 +124,7 @@ class Optimizer:
         Phase-2 refinement is applied according to the config unless
         overridden by *refine*.
         """
-        expr = query.expr if isinstance(query, Query) else query
-        required = required_order or EMPTY_ORDER
-        if isinstance(expr, OrderBy) and not required:
-            required = expr.order
-            expr = expr.child
+        expr, required = split_required_order(query, required_order)
         run = OptimizationRun(self.catalog, expr, self._strategy, self.config)
         plan = run.optimize_goal(expr, required)
         plan = run.ensure_schema(plan, expr)
@@ -127,6 +146,16 @@ class Optimizer:
         return self.optimize(query, required_order).total_cost
 
 
+class _Bound:
+    """Mutable upper bound shared between a goal and its candidate
+    generator; shrinks as better complete plans are found."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = math.inf) -> None:
+        self.value = value
+
+
 class OptimizationRun:
     """State for optimizing a single query (memo, annotations, afm)."""
 
@@ -145,23 +174,43 @@ class OptimizationRun:
         self._memo: dict[tuple[LogicalExpr, tuple[str, ...]], PhysicalPlan] = {}
         #: Subgoals optimized — the optimization-effort metric of Fig. 16.
         self.goals_examined = 0
+        #: Subgoals skipped because their cost budget was already exhausted
+        #: (cost-bounded search; see :meth:`optimize_goal`).
+        self.goals_pruned = 0
 
     # -- goal optimization -------------------------------------------------------------
-    def optimize_goal(self, expr: LogicalExpr, required: SortOrder) -> PhysicalPlan:
+    def optimize_goal(self, expr: LogicalExpr, required: SortOrder,
+                      limit: float = math.inf) -> Optional[PhysicalPlan]:
+        """Cheapest plan for *expr* guaranteeing *required*.
+
+        *limit* is the branch-and-bound budget handed down by the parent
+        goal: when it is already ≤ 0 no plan of this goal can make the
+        enclosing candidate competitive (all costs are non-negative), so
+        the search is skipped entirely and ``None`` is returned.  Memo
+        entries are always exact optima — a goal that *is* searched is
+        searched to completion, so pruning never changes chosen plans,
+        only the number of goals examined.
+        """
         required = self.fds.reduce_order(required)
         key = (expr, tuple(self.eq.canonical(a) for a in required))
         cached = self._memo.get(key)
         if cached is not None:
             return cached
+        if limit <= 0.0:
+            self.goals_pruned += 1
+            return None
         self.goals_examined += 1
 
+        bound = _Bound()
         best: Optional[PhysicalPlan] = None
-        for candidate in self._native_candidates(expr, required):
-            plan = self.enforce(candidate, required)
+        for candidate in self._native_candidates(expr, required, bound):
+            plan = self.enforce(candidate, required, limit=bound.value)
             if plan is None:
                 continue
             if best is None or plan.total_cost < best.total_cost:
                 best = plan
+                if self.config.cost_bound_pruning:
+                    bound.value = best.total_cost
         if best is None:
             raise RuntimeError(
                 f"no plan for {expr.label()} with required order {required}")
@@ -169,8 +218,16 @@ class OptimizationRun:
         return best
 
     # -- enforcers ------------------------------------------------------------------------
-    def enforce(self, plan: PhysicalPlan, required: SortOrder) -> Optional[PhysicalPlan]:
-        """Add a (partial) sort enforcer if *plan* misses the requirement."""
+    def enforce(self, plan: PhysicalPlan, required: SortOrder,
+                limit: float = math.inf) -> Optional[PhysicalPlan]:
+        """Add a (partial) sort enforcer if *plan* misses the requirement.
+
+        Returns ``None`` when no enforcer applies — or when the enforced
+        plan's total cost reaches *limit*, i.e. it provably cannot beat
+        the best alternative already known to the caller.
+        """
+        if plan.total_cost >= limit:
+            return None
         target = self.fds.reduce_order(required)
         if not target or plan.order.satisfies(target, self.eq):
             return plan
@@ -181,6 +238,8 @@ class OptimizationRun:
         prefix = longest_common_prefix(translated, plan.order, self.eq)
         cost = self.cost_model.coe(plan.stats, plan.order, translated,
                                    partial_enabled=partial_ok)
+        if plan.total_cost + cost >= limit:
+            return None
         if prefix and partial_ok:
             return make_plan("PartialSort", plan.schema, translated, plan.stats,
                              cost, [plan], prefix=prefix, algorithm="mrs")
@@ -217,28 +276,30 @@ class OptimizationRun:
                          cost, [plan], columns=tuple(target.names))
 
     # -- candidate generation ----------------------------------------------------------------
-    def _native_candidates(self, expr: LogicalExpr,
-                           required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _native_candidates(self, expr: LogicalExpr, required: SortOrder,
+                           bound: _Bound) -> Iterable[PhysicalPlan]:
         if isinstance(expr, BaseRelation):
             yield from self._scan_candidates(expr)
         elif isinstance(expr, Select):
-            yield from self._select_candidates(expr, required)
+            yield from self._select_candidates(expr, required, bound)
         elif isinstance(expr, Project):
-            yield from self._project_candidates(expr, required)
+            yield from self._project_candidates(expr, required, bound)
         elif isinstance(expr, Compute):
-            yield from self._compute_candidates(expr, required)
+            yield from self._compute_candidates(expr, required, bound)
         elif isinstance(expr, Join):
-            yield from self._join_candidates(expr, required)
+            yield from self._join_candidates(expr, required, bound)
         elif isinstance(expr, GroupBy):
-            yield from self._group_candidates(expr, required)
+            yield from self._group_candidates(expr, required, bound)
         elif isinstance(expr, Distinct):
-            yield from self._distinct_candidates(expr, required)
+            yield from self._distinct_candidates(expr, required, bound)
         elif isinstance(expr, Union):
-            yield from self._union_candidates(expr, required)
+            yield from self._union_candidates(expr, required, bound)
         elif isinstance(expr, OrderBy):
-            yield self.optimize_goal(expr.child, expr.order)
+            plan = self.optimize_goal(expr.child, expr.order, bound.value)
+            if plan is not None:
+                yield plan
         elif isinstance(expr, Limit):
-            yield from self._limit_candidates(expr, required)
+            yield from self._limit_candidates(expr, required, bound)
         else:
             raise TypeError(f"cannot plan {type(expr).__name__}")
 
@@ -269,26 +330,26 @@ class OptimizationRun:
             reqs.append(required)
         return reqs
 
-    def _select_candidates(self, expr: Select,
-                           required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _select_candidates(self, expr: Select, required: SortOrder,
+                           bound: _Bound) -> Iterable[PhysicalPlan]:
         child_schema_cols = set(self.annotator.schema_of(expr.child).names)
         pushable = all(any(self.eq.same(a, c) for c in child_schema_cols)
                        for a in required)
         for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req)
-            if not child.schema.has_all(expr.predicate.columns()):
+            child = self.optimize_goal(expr.child, child_req, bound.value)
+            if child is None or not child.schema.has_all(expr.predicate.columns()):
                 continue
             stats = child.stats.scaled(expr.predicate.selectivity(child.stats))
             yield make_plan("Filter", child.schema, child.order, stats,
                             self.cost_model.filter(child.stats), [child],
                             predicate=expr.predicate)
 
-    def _project_candidates(self, expr: Project,
-                            required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _project_candidates(self, expr: Project, required: SortOrder,
+                            bound: _Bound) -> Iterable[PhysicalPlan]:
         pushable = set(required) <= set(expr.columns)
         for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req)
-            if not child.schema.has_all(expr.columns):
+            child = self.optimize_goal(expr.child, child_req, bound.value)
+            if child is None or not child.schema.has_all(expr.columns):
                 continue
             schema = child.schema.project(list(expr.columns))
             order = child.order.restrict_prefix_to(expr.columns, self.eq)
@@ -297,13 +358,15 @@ class OptimizationRun:
                             self.cost_model.project(child.stats), [child],
                             columns=tuple(expr.columns))
 
-    def _compute_candidates(self, expr: Compute,
-                            required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _compute_candidates(self, expr: Compute, required: SortOrder,
+                            bound: _Bound) -> Iterable[PhysicalPlan]:
         child_cols = set(self.annotator.schema_of(expr.child).names)
         pushable = all(any(self.eq.same(a, c) for c in child_cols)
                        for a in required)
         for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req)
+            child = self.optimize_goal(expr.child, child_req, bound.value)
+            if child is None:
+                continue
             schema = Schema(list(child.schema)
                             + [spec for spec in self.annotator.schema_of(expr)
                                if spec.name not in child.schema])
@@ -315,8 +378,8 @@ class OptimizationRun:
                             outputs=tuple(expr.outputs))
 
     # -- joins -------------------------------------------------------------------------------
-    def _join_candidates(self, expr: Join,
-                         required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _join_candidates(self, expr: Join, required: SortOrder,
+                         bound: _Bound) -> Iterable[PhysicalPlan]:
         pairs = list(expr.predicate.pairs)
         right_for_left = dict(pairs)
         orders = self.strategy.join_orders(self.order_ctx, expr, required)
@@ -325,8 +388,13 @@ class OptimizationRun:
             right_perm = SortOrder(
                 tuple(right_for_left.get(a, self._right_partner(a, pairs))
                       for a in perm))
-            left_plan = self.optimize_goal(expr.left, left_req)
-            right_plan = self.optimize_goal(expr.right, right_perm)
+            left_plan = self.optimize_goal(expr.left, left_req, bound.value)
+            if left_plan is None:
+                continue
+            right_plan = self.optimize_goal(expr.right, right_perm,
+                                            bound.value - left_plan.total_cost)
+            if right_plan is None:
+                continue
             reordered = JoinPredicate(
                 [(a, right_for_left.get(a, self._right_partner(a, pairs)))
                  for a in perm])
@@ -338,25 +406,33 @@ class OptimizationRun:
                             [left_plan, right_plan], predicate=reordered,
                             join_type=expr.join_type, logical=expr)
         if self.config.enable_hash_join:
-            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER)
-            right_plan = self.optimize_goal(expr.right, EMPTY_ORDER)
-            stats = self._join_stats(expr, left_plan, right_plan)
-            schema = left_plan.schema.concat(right_plan.schema)
-            cost = self.cost_model.hash_join(left_plan.stats, right_plan.stats,
-                                             stats.N)
-            yield make_plan("HashJoin", schema, EMPTY_ORDER, stats, cost,
-                            [left_plan, right_plan], predicate=expr.predicate,
-                            join_type=expr.join_type)
+            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
+            right_plan = (self.optimize_goal(expr.right, EMPTY_ORDER,
+                                             bound.value - left_plan.total_cost)
+                          if left_plan is not None else None)
+            if left_plan is not None and right_plan is not None:
+                stats = self._join_stats(expr, left_plan, right_plan)
+                schema = left_plan.schema.concat(right_plan.schema)
+                cost = self.cost_model.hash_join(left_plan.stats,
+                                                 right_plan.stats, stats.N)
+                yield make_plan("HashJoin", schema, EMPTY_ORDER, stats, cost,
+                                [left_plan, right_plan],
+                                predicate=expr.predicate,
+                                join_type=expr.join_type)
         if self.config.enable_nested_loops and expr.join_type == "inner":
-            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER)
-            right_plan = self.optimize_goal(expr.right, EMPTY_ORDER)
-            stats = self._join_stats(expr, left_plan, right_plan)
-            schema = left_plan.schema.concat(right_plan.schema)
-            cost = self.cost_model.nested_loops_join(left_plan.stats,
-                                                     right_plan.stats, stats.N)
-            yield make_plan("NestedLoopsJoin", schema, left_plan.order, stats,
-                            cost, [left_plan, right_plan],
-                            predicate=expr.predicate)
+            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
+            right_plan = (self.optimize_goal(expr.right, EMPTY_ORDER,
+                                             bound.value - left_plan.total_cost)
+                          if left_plan is not None else None)
+            if left_plan is not None and right_plan is not None:
+                stats = self._join_stats(expr, left_plan, right_plan)
+                schema = left_plan.schema.concat(right_plan.schema)
+                cost = self.cost_model.nested_loops_join(left_plan.stats,
+                                                         right_plan.stats,
+                                                         stats.N)
+                yield make_plan("NestedLoopsJoin", schema, left_plan.order,
+                                stats, cost, [left_plan, right_plan],
+                                predicate=expr.predicate)
 
     @staticmethod
     def _right_partner(attr: str, pairs: list[tuple[str, str]]) -> str:
@@ -375,13 +451,15 @@ class OptimizationRun:
         return joined
 
     # -- aggregation --------------------------------------------------------------------------
-    def _group_candidates(self, expr: GroupBy,
-                          required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _group_candidates(self, expr: GroupBy, required: SortOrder,
+                          bound: _Bound) -> Iterable[PhysicalPlan]:
         group_cols = list(expr.group_columns)
         reduced = list(self.fds.reduce_group_columns(group_cols))
         for perm in self.strategy.group_orders(self.order_ctx, expr, reduced,
                                                required):
-            child = self.optimize_goal(expr.child, perm)
+            child = self.optimize_goal(expr.child, perm, bound.value)
+            if child is None:
+                continue
             schema = self._agg_schema(expr, child.schema)
             if schema is None:
                 continue
@@ -391,7 +469,9 @@ class OptimizationRun:
                             group_columns=tuple(group_cols),
                             aggregates=tuple(expr.aggregates), logical=expr)
         if self.config.enable_hash_aggregate:
-            child = self.optimize_goal(expr.child, EMPTY_ORDER)
+            child = self.optimize_goal(expr.child, EMPTY_ORDER, bound.value)
+            if child is None:
+                return
             schema = self._agg_schema(expr, child.schema)
             if schema is not None:
                 stats = child.stats.grouped(group_cols, schema)
@@ -411,44 +491,53 @@ class OptimizationRun:
                                        list(expr.aggregates))
 
     # -- set operations --------------------------------------------------------------------------
-    def _distinct_candidates(self, expr: Distinct,
-                             required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _distinct_candidates(self, expr: Distinct, required: SortOrder,
+                             bound: _Bound) -> Iterable[PhysicalPlan]:
         schema = self.annotator.schema_of(expr)
         columns = list(schema.names)
         for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
                                              required):
-            child = self.optimize_goal(expr.child, perm)
+            child = self.optimize_goal(expr.child, perm, bound.value)
+            if child is None:
+                continue
             stats = child.stats.with_rows(
                 child.stats.distinct_of_set(columns))
             yield make_plan("Dedup", child.schema, perm, stats,
                             self.cost_model.dedup(child.stats), [child])
-        child = self.optimize_goal(expr.child, EMPTY_ORDER)
+        child = self.optimize_goal(expr.child, EMPTY_ORDER, bound.value)
+        if child is None:
+            return
         stats = child.stats.with_rows(child.stats.distinct_of_set(columns))
         yield make_plan("HashDedup", child.schema, EMPTY_ORDER, stats,
                         self.cost_model.hash_dedup(child.stats, stats), [child])
 
-    def _union_candidates(self, expr: Union,
-                          required: SortOrder) -> Iterable[PhysicalPlan]:
+    def _union_candidates(self, expr: Union, required: SortOrder,
+                          bound: _Bound) -> Iterable[PhysicalPlan]:
         left_schema = self.annotator.schema_of(expr.left)
         right_schema = self.annotator.schema_of(expr.right)
         rename = dict(zip(left_schema.names, right_schema.names))
         columns = list(left_schema.names)
         for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
                                              required):
-            left = self.optimize_goal(expr.left, perm)
-            right = self.optimize_goal(expr.right, perm.translate(rename))
-            rows = left.stats.N + right.stats.N
-            stats = StatsView(left.schema, rows,
-                              {c: left.stats.distinct_of(c) for c in columns},
-                              self.eq)
+            left = self.optimize_goal(expr.left, perm, bound.value)
+            if left is None:
+                continue
+            right = self.optimize_goal(expr.right, perm.translate(rename),
+                                       bound.value - left.total_cost)
+            if right is None:
+                continue
+            stats = left.stats.union(right.stats, self.eq)
             yield make_plan("MergeUnion", left.schema, perm, stats,
                             self.cost_model.merge_union(left.stats, right.stats),
                             [left, right])
-        left = self.optimize_goal(expr.left, EMPTY_ORDER)
-        right = self.optimize_goal(expr.right, EMPTY_ORDER)
-        all_stats = StatsView(left.schema, left.stats.N + right.stats.N,
-                              {c: left.stats.distinct_of(c) for c in columns},
-                              self.eq)
+        left = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
+        if left is None:
+            return
+        right = self.optimize_goal(expr.right, EMPTY_ORDER,
+                                   bound.value - left.total_cost)
+        if right is None:
+            return
+        all_stats = left.stats.union(right.stats, self.eq)
         union_all = make_plan("UnionAll", left.schema, EMPTY_ORDER, all_stats,
                               0.0, [left, right])
         dedup_stats = all_stats.with_rows(all_stats.distinct_of_set(columns))
@@ -456,9 +545,11 @@ class OptimizationRun:
                         self.cost_model.hash_dedup(all_stats, dedup_stats),
                         [union_all])
 
-    def _limit_candidates(self, expr: Limit,
-                          required: SortOrder) -> Iterable[PhysicalPlan]:
-        child = self.optimize_goal(expr.child, required)
+    def _limit_candidates(self, expr: Limit, required: SortOrder,
+                          bound: _Bound) -> Iterable[PhysicalPlan]:
+        child = self.optimize_goal(expr.child, required, bound.value)
+        if child is None:
+            return
         stats = child.stats.with_rows(min(child.stats.N, expr.k))
         yield make_plan("Limit", child.schema, child.order, stats, 0.0,
                         [child], k=expr.k)

@@ -1,0 +1,27 @@
+"""Query-serving layer: plan cache + prepared queries.
+
+The optimizer reproduces the paper; this package makes it *servable*:
+repeated and parameterized queries hit a fingerprint-keyed, statistics-
+versioned plan cache instead of re-running the Volcano search.
+"""
+
+from .plan_cache import CacheStats, PlanCache
+from .session import (
+    PreparedQuery,
+    QuerySession,
+    SessionMetrics,
+    bind_expression,
+    bind_plan,
+    plan_params,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PreparedQuery",
+    "QuerySession",
+    "SessionMetrics",
+    "bind_expression",
+    "bind_plan",
+    "plan_params",
+]

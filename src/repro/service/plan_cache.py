@@ -1,0 +1,109 @@
+"""The plan cache: fingerprint-keyed, stats-versioned, LRU-bounded.
+
+Production optimizers are rarely the latency bottleneck because they are
+rarely *run*: repeated and parameterized queries are served from a plan
+cache.  This module supplies that cache for the PYRO optimizer.
+
+A cached plan is valid for exactly one *catalog statistics version*
+(:attr:`repro.storage.catalog.Catalog.stats_version`): any statistics
+refresh, new table or new index bumps the version and silently
+invalidates every cached plan on its next lookup — a plan chosen for
+yesterday's data distribution must not serve today's.
+
+The cache is deliberately dumb about queries: the key is the canonical
+logical fingerprint (see :mod:`repro.logical.fingerprint`) plus the
+required order, computed by the caller.  That keeps this module free of
+optimizer imports and trivially testable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+PlanT = TypeVar("PlanT")
+
+
+@dataclass
+class CacheStats:
+    """Observable counters; the serving benchmark reports these."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry(Generic[PlanT]):
+    plan: PlanT
+    stats_version: int
+    uses: int = 0
+
+
+class PlanCache(Generic[PlanT]):
+    """LRU cache of optimized plans keyed by query fingerprint.
+
+    ``get``/``put`` take the *current* catalog statistics version; an
+    entry cached under an older version is dropped at lookup time and
+    counted as an invalidation (which is also a miss — the caller must
+    re-optimize).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, _Entry[PlanT]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, stats_version: int) -> Optional[PlanT]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.stats_version != stats_version:
+            # The world changed under the plan: drop it.
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.uses += 1
+        self.stats.hits += 1
+        return entry.plan
+
+    def put(self, key: Hashable, plan: PlanT, stats_version: int) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = _Entry(plan, stats_version)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (e.g. after a bulk load); returns the count."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (f"PlanCache({len(self._entries)}/{self.capacity} entries, "
+                f"{s.hits} hits / {s.misses} misses)")

@@ -1,0 +1,250 @@
+"""The query-serving facade: prepare once, execute many.
+
+:class:`QuerySession` wires the optimizer, the plan cache and the
+execution engine into the loop a production system actually runs:
+
+1. ``prepare(query)`` — fingerprint the logical tree, look the plan up
+   in the :class:`~repro.service.plan_cache.PlanCache`; only on a miss
+   pay for a full (cost-bounded) Volcano search.
+2. ``PreparedQuery.execute(**binds)`` — substitute parameter bindings
+   into the cached physical plan and run it on the engine.
+
+Parameters (:class:`repro.expr.expressions.Param`) make one cache entry
+serve a whole family of queries: the cost model's selectivity estimates
+never depend on literal values, so the plan is bind-independent by
+construction, and binding is a pure plan-tree substitution — the
+optimizer is not consulted again.
+
+Statistics refreshes (``catalog.refresh_stats(...)``), new tables and
+new indexes bump the catalog's ``stats_version``; the next lookup sees
+the version mismatch, drops the stale plan and re-optimizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Union as TUnion
+
+from ..engine.context import ExecutionContext
+from ..expr.aggregates import AggSpec
+from ..expr.expressions import (
+    And,
+    BinOp,
+    Comparison,
+    Const,
+    Expression,
+    Or,
+    Param,
+)
+from ..logical.algebra import LogicalExpr
+from ..logical.builder import Query
+from ..logical.fingerprint import logical_fingerprint
+from ..core.sort_order import SortOrder
+from ..optimizer.plans import PhysicalPlan
+from ..optimizer.volcano import Optimizer, OptimizerConfig, split_required_order
+from ..storage.catalog import Catalog
+from .plan_cache import PlanCache
+
+
+# -- parameter binding ---------------------------------------------------------------
+def bind_expression(expr: Expression, binds: dict[str, Any]) -> Expression:
+    """Substitute :class:`Param` nodes with :class:`Const` bindings.
+
+    Returns the *same* object when nothing changed, so unparameterized
+    plans are never rebuilt.
+    """
+    if isinstance(expr, Param):
+        if expr.name not in binds:
+            raise KeyError(f"missing binding for query parameter :{expr.name}")
+        return Const(binds[expr.name])
+    if isinstance(expr, Comparison):
+        left = bind_expression(expr.left, binds)
+        right = bind_expression(expr.right, binds)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Comparison(expr.op, left, right)
+    if isinstance(expr, BinOp):
+        left = bind_expression(expr.left, binds)
+        right = bind_expression(expr.right, binds)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, And):
+        parts = tuple(bind_expression(p, binds) for p in expr.parts)
+        if all(n is o for n, o in zip(parts, expr.parts)):
+            return expr
+        return And(*parts)
+    if isinstance(expr, Or):
+        parts = tuple(bind_expression(p, binds) for p in expr.parts)
+        if all(n is o for n, o in zip(parts, expr.parts)):
+            return expr
+        return Or(*parts)
+    return expr
+
+
+def expression_params(expr: Expression) -> frozenset[str]:
+    """All parameter names referenced by an expression."""
+    if isinstance(expr, Param):
+        return frozenset({expr.name})
+    if isinstance(expr, (Comparison, BinOp)):
+        return expression_params(expr.left) | expression_params(expr.right)
+    if isinstance(expr, (And, Or)):
+        out: frozenset[str] = frozenset()
+        for p in expr.parts:
+            out |= expression_params(p)
+        return out
+    return frozenset()
+
+
+def plan_params(plan: PhysicalPlan) -> frozenset[str]:
+    """All parameter names referenced anywhere in a physical plan."""
+    names: frozenset[str] = frozenset()
+    for node in plan.walk():
+        for key, value in node.args:
+            if isinstance(value, Expression):
+                names |= expression_params(value)
+            elif key == "outputs":
+                for _, e in value:
+                    names |= expression_params(e)
+            elif key == "aggregates":
+                for spec in value:
+                    names |= expression_params(spec.arg)
+    return names
+
+
+def bind_plan(plan: PhysicalPlan, binds: dict[str, Any]) -> PhysicalPlan:
+    """Rebuild a physical plan with parameters bound to constants."""
+    children = tuple(bind_plan(c, binds) for c in plan.children)
+    changed = any(n is not o for n, o in zip(children, plan.children))
+    new_args: list[tuple[str, Any]] = []
+    for key, value in plan.args:
+        new_value = value
+        if isinstance(value, Expression):
+            new_value = bind_expression(value, binds)
+        elif key == "outputs":
+            outs = tuple((n, bind_expression(e, binds)) for n, e in value)
+            if any(e is not o for (_, e), (_, o) in zip(outs, value)):
+                new_value = outs
+        elif key == "aggregates":
+            aggs = tuple(
+                AggSpec(s.func, bind_expression(s.arg, binds), s.output_name,
+                        s.output_size)
+                if expression_params(s.arg) else s
+                for s in value)
+            if any(a is not o for a, o in zip(aggs, value)):
+                new_value = aggs
+        if new_value is not value:
+            changed = True
+        new_args.append((key, new_value))
+    if not changed:
+        return plan
+    return PhysicalPlan(plan.op, plan.schema, plan.order, plan.stats,
+                        plan.self_cost, children, tuple(new_args))
+
+
+# -- the session ------------------------------------------------------------------------
+@dataclass
+class SessionMetrics:
+    """Serving-side counters (cache counters live on the cache itself)."""
+
+    prepares: int = 0
+    optimizations: int = 0
+    executions: int = 0
+    optimize_seconds: float = 0.0
+
+
+class PreparedQuery:
+    """An optimized, cached plan ready for (repeated) execution."""
+
+    def __init__(self, session: "QuerySession", plan: PhysicalPlan,
+                 fingerprint: str, required: SortOrder,
+                 from_cache: bool) -> None:
+        self.session = session
+        self.plan = plan
+        self.fingerprint = fingerprint
+        self.required_order = required
+        self.from_cache = from_cache
+        self.param_names = plan_params(plan)
+
+    @property
+    def total_cost(self) -> float:
+        return self.plan.total_cost
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+    def bind(self, **binds: Any) -> PhysicalPlan:
+        """The executable plan with parameters substituted."""
+        unknown = set(binds) - set(self.param_names)
+        if unknown:
+            raise KeyError(f"unknown query parameters: {sorted(unknown)}")
+        missing = set(self.param_names) - set(binds)
+        if missing:
+            raise KeyError(f"missing bindings for parameters: {sorted(missing)}")
+        if not self.param_names:
+            return self.plan
+        return bind_plan(self.plan, binds)
+
+    def execute(self, ctx: Optional[ExecutionContext] = None,
+                **binds: Any) -> list[tuple]:
+        plan = self.bind(**binds)
+        self.session.metrics.executions += 1
+        ctx = ctx or ExecutionContext(self.session.catalog)
+        return list(plan.to_operator(self.session.catalog).execute(ctx))
+
+
+class QuerySession:
+    """Prepare, cache and execute queries against one catalog.
+
+    One session per serving process; safe to reuse across queries.  The
+    underlying :class:`Optimizer` is rebuilt only when a plan-cache miss
+    forces a fresh search.
+    """
+
+    def __init__(self, catalog: Catalog, strategy: str = "pyro-o",
+                 config: Optional[OptimizerConfig] = None,
+                 cache_capacity: int = 128, **overrides: Any) -> None:
+        self.catalog = catalog
+        self.optimizer = Optimizer(catalog, strategy, config, **overrides)
+        self.cache: PlanCache[PhysicalPlan] = PlanCache(cache_capacity)
+        self.metrics = SessionMetrics()
+
+    # -- public API ------------------------------------------------------------------
+    def prepare(self, query: TUnion[Query, LogicalExpr],
+                required_order: Optional[SortOrder] = None) -> PreparedQuery:
+        """Plan (or fetch the cached plan for) a query."""
+        # The same normalization Optimizer.optimize applies, so the cache
+        # key always describes exactly the tree that gets planned.
+        expr, required = split_required_order(query, required_order)
+        fp = logical_fingerprint(expr, required)
+        version = self.catalog.stats_version
+        self.metrics.prepares += 1
+        plan = self.cache.get(fp, version)
+        if plan is not None:
+            return PreparedQuery(self, plan, fp, required, from_cache=True)
+        start = time.perf_counter()
+        plan = self.optimizer.optimize(expr, required)
+        self.metrics.optimize_seconds += time.perf_counter() - start
+        self.metrics.optimizations += 1
+        self.cache.put(fp, plan, version)
+        return PreparedQuery(self, plan, fp, required, from_cache=False)
+
+    def execute(self, query: TUnion[Query, LogicalExpr],
+                required_order: Optional[SortOrder] = None,
+                ctx: Optional[ExecutionContext] = None,
+                **binds: Any) -> list[tuple]:
+        """Prepare (served from cache when possible) and execute."""
+        return self.prepare(query, required_order).execute(ctx, **binds)
+
+    def explain(self, query: TUnion[Query, LogicalExpr],
+                required_order: Optional[SortOrder] = None) -> str:
+        return self.prepare(query, required_order).explain()
+
+    def cost_of(self, query: TUnion[Query, LogicalExpr],
+                required_order: Optional[SortOrder] = None) -> float:
+        return self.prepare(query, required_order).total_cost
+
+    def invalidate_plans(self) -> int:
+        """Manually drop every cached plan (bulk loads, DDL scripts)."""
+        return self.cache.invalidate_all()

@@ -46,6 +46,24 @@ class Catalog:
         self._indexes: dict[str, Index] = {}
         self._by_table: dict[str, list[Index]] = {}
         self.params = params or SystemParameters()
+        #: Bumped on every registration (tables/indexes) — part of the
+        #: catalog-wide statistics version below.
+        self._registry_version = 0
+
+    # -- statistics versioning ---------------------------------------------------------
+    @property
+    def stats_version(self) -> int:
+        """Monotonic version of everything a plan depends on: registered
+        tables/indexes plus each table's statistics version.  Plan caches
+        compare this to decide whether a cached plan is still valid."""
+        return self._registry_version + sum(
+            t.stats_version for t in self._tables.values())
+
+    def refresh_stats(self, table_name: str,
+                      stats: Optional["TableStats"] = None) -> "TableStats":
+        """Replace (or re-measure) one table's statistics, bumping the
+        catalog :attr:`stats_version` so cached plans are invalidated."""
+        return self.table(table_name).update_stats(stats)
 
     # -- registration ----------------------------------------------------------------
     def add_table(self, table: Table) -> Table:
@@ -53,6 +71,7 @@ class Catalog:
             raise ValueError(f"table {table.name!r} already registered")
         self._tables[table.name] = table
         self._by_table.setdefault(table.name, [])
+        self._registry_version += 1
         return table
 
     def create_table(
@@ -76,6 +95,7 @@ class Catalog:
             raise ValueError(f"index {index.name!r} references unregistered table")
         self._indexes[index.name] = index
         self._by_table[index.table.name].append(index)
+        self._registry_version += 1
         return index
 
     def create_index(self, name: str, table_name: str, key: SortOrder,

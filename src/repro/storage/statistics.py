@@ -221,6 +221,21 @@ class StatsView:
         groups = {g: min(d, rows) for g, d in groups.items()}
         return StatsView(schema, rows, distinct, eq, out_keys, groups)
 
+    def union(self, other: "StatsView",
+              eq: Optional[AttributeEquivalence] = None) -> "StatsView":
+        """Union estimate (left schema wins, columns paired positionally):
+        row counts add, and per-column distincts combine left *and* right
+        contributions under a no-overlap assumption, capped at the row
+        count.  Shared by the Annotator and the physical union candidates
+        so logical and physical estimates cannot diverge."""
+        rows = self.num_rows + other.num_rows
+        rename = dict(zip(self.schema.names, other.schema.names))
+        distinct = {
+            c: min(rows, self.distinct_of(c) + other.distinct_of(rename[c]))
+            for c in self.schema.names
+        }
+        return StatsView(self.schema, rows, distinct, eq or self._eq)
+
     def grouped(self, group_columns: list[str], schema: Schema) -> "StatsView":
         """Aggregate output: one row per distinct group key (which is, by
         construction, a key of the output)."""

@@ -48,7 +48,29 @@ class Table:
                     raise ValueError(f"table {name}: key column {col!r} not in schema")
         if rows is not None and clustering_order:
             self._sort_rows_by(clustering_order)
-        self.stats = stats if stats is not None else TableStats.measure(self._rows or [], schema)
+        self._stats = stats if stats is not None else TableStats.measure(self._rows or [], schema)
+        #: Bumped every time the table's statistics are replaced; plan
+        #: caches key on it so stale plans are invalidated (see
+        #: :mod:`repro.service.plan_cache`).
+        self.stats_version = 0
+
+    # -- statistics -----------------------------------------------------------------
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @stats.setter
+    def stats(self, new_stats: TableStats) -> None:
+        self._stats = new_stats
+        self.stats_version += 1
+
+    def update_stats(self, new_stats: Optional[TableStats] = None) -> TableStats:
+        """Replace the table's statistics (re-measuring from rows when no
+        explicit stats are given) and bump :attr:`stats_version`."""
+        if new_stats is None:
+            new_stats = TableStats.measure(self._rows or [], self.schema)
+        self.stats = new_stats
+        return new_stats
 
     # -- rows ----------------------------------------------------------------------
     @property
