@@ -1,0 +1,122 @@
+"""Benchmark-regression gate for CI.
+
+Runs the smoke configurations of ``bench_plan_cache`` and
+``bench_scalability``, collects a small set of serving/execution
+metrics, and compares them against the checked-in
+``BENCH_baseline.json``.  Any metric regressing by more than the
+baseline's tolerance (default 20%) fails the build.
+
+Deterministic metrics (cache hit rates, branch-and-bound goal counts,
+simulated blocks read) are gated tightly by construction; the one
+wall-clock metric (batched-vs-row speedup) is gated against a
+*conservative* baseline so shared-runner noise does not flap the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py          # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update # rebaseline
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
+sys.path.insert(0, str(BENCH_DIR))
+
+from bench_plan_cache import run_cache_benchmark, run_pruning_benchmark  # noqa: E402
+from bench_scalability import run_batch_speedup  # noqa: E402
+
+
+def collect_metrics() -> dict[str, float]:
+    """One smoke pass over both benchmarks → flat metric dict."""
+    metrics: dict[str, float] = {}
+
+    cache_rows = run_cache_benchmark(repeats=3)
+    for name, _cold, _warm, _speedup, hit_rate in cache_rows:
+        metrics[f"cache_hit_rate_{name}"] = float(hit_rate)
+
+    pruning_rows = run_pruning_benchmark(strategies=("pyro-o",))
+    for _strategy, name, _exact, bounded, _pct in pruning_rows:
+        metrics[f"goals_bounded_{name}"] = float(bounded)
+
+    exec_result = run_batch_speedup(num_rows=30_000, repeats=2)
+    metrics["batch_speedup"] = round(exec_result["speedup"], 3)
+    metrics["scan_blocks_read"] = float(exec_result["blocks_read"])
+    return metrics
+
+
+def compare(metrics: dict[str, float], baseline: dict) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    tolerance = float(baseline.get("tolerance", 0.20))
+    failures: list[str] = []
+    for name, spec in baseline["metrics"].items():
+        base = float(spec["value"])
+        higher_is_better = bool(spec["higher_is_better"])
+        current = metrics.get(name)
+        if current is None:
+            failures.append(f"{name}: metric missing from current run")
+            continue
+        if higher_is_better:
+            floor = base * (1.0 - tolerance)
+            ok = current >= floor
+            bound_text = f">= {floor:.3f}"
+        else:
+            ceiling = base * (1.0 + tolerance)
+            ok = current <= ceiling
+            bound_text = f"<= {ceiling:.3f}"
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {name:28s} baseline={base:10.3f} current={current:10.3f} "
+              f"({bound_text})  {status}")
+        if not ok:
+            failures.append(
+                f"{name}: {current:.3f} vs baseline {base:.3f} "
+                f"(allowed {bound_text})")
+    for name in sorted(set(metrics) - set(baseline["metrics"])):
+        print(f"  {name:28s} current={metrics[name]:10.3f}  (unbaselined)")
+    return failures
+
+
+def write_baseline(metrics: dict[str, float]) -> None:
+    """Re-baseline: deterministic metrics exact, wall-clock conservative."""
+    specs = {}
+    for name, value in metrics.items():
+        higher_is_better = name.startswith(("cache_hit_rate", "batch_speedup"))
+        if name == "batch_speedup":
+            # Wall-clock is the one noisy metric: pin its baseline so the
+            # gate floor (value * (1 - tolerance)) lands on the same 1.5x
+            # slack bench_scalability --smoke enforces for itself.
+            value = round(min(value, 1.5 / (1.0 - 0.20)), 2)
+        specs[name] = {"value": value, "higher_is_better": higher_is_better}
+    BASELINE_PATH.write_text(json.dumps(
+        {"tolerance": 0.20, "metrics": specs}, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {BASELINE_PATH}")
+
+
+def main(argv: list[str]) -> int:
+    print("collecting benchmark metrics (smoke configuration)...")
+    metrics = collect_metrics()
+    if "--update" in argv:
+        write_baseline(metrics)
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    print(f"comparing against {BASELINE_PATH.name} "
+          f"(tolerance {baseline.get('tolerance', 0.2):.0%}):")
+    failures = compare(metrics, baseline)
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

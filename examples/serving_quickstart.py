@@ -77,13 +77,28 @@ def main() -> None:
           f"hit rate={session.cache.stats.hit_rate:.2f}, "
           f"optimize seconds={session.metrics.optimize_seconds:.4f}")
 
+    # Execution knobs: the engine is batch-vectorized, and full table
+    # scans can be fanned out into contiguous shards.  Answers are
+    # identical; only execution granularity changes.
+    serial = prepared.execute(region="region3")
+    sharded = prepared.execute(region="region3", parallelism=4,
+                               batch_size=2048)
+    print(f"\nSharded execution matches serial: {serial == sharded} "
+          f"(parallelism=4, batch_size=2048)")
+
     # Statistics refresh → version bump → the cached plan is stale and
-    # the next prepare re-optimizes against the new statistics.
+    # the next prepare re-optimizes against the new statistics.  The
+    # cache keys plans on the versions of the tables they *reference*,
+    # so only plans reading "items" are invalidated.
     catalog.refresh_stats("items")
     refreshed = session.prepare(template)
     print(f"\nAfter stats refresh: from_cache={refreshed.from_cache}, "
           f"invalidations={session.cache.stats.invalidations}, "
           f"optimizations={session.metrics.optimizations}")
+
+    print("\nSession stats():")
+    for key, value in session.stats().items():
+        print(f"  {key} = {value}")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,16 @@
-"""Volcano-style execution engine with simulated block I/O."""
+"""Batch-vectorized Volcano-style execution engine with simulated block I/O."""
 
 from .aggregates import HashAggregate, SortAggregate
 from .basic import Compute, Filter, Limit, PartialSort, Project, Sort, TopK
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchBuilder,
+    BlockCharger,
+    RowBatch,
+    batches_of,
+    collect_rows,
+    flatten_batches,
+)
 from .context import (
     ComparisonCounter,
     CountedKey,
@@ -9,20 +18,34 @@ from .context import (
     IOAccountant,
     SortMetrics,
 )
+from .exchange import ExchangeUnion, shard_scans
+from .executor import BatchedExecutor
 from .iterators import Operator, key_function, null_safe_wrap
 from .joins import HashJoin, MergeJoin, NestedLoopsJoin
 from .lowering import operators_from_plan
-from .scans import ClusteringIndexScan, CoveringIndexScan, RowSource, TableScan
+from .scans import (
+    ClusteringIndexScan,
+    CoveringIndexScan,
+    RowSource,
+    ShardedScan,
+    TableScan,
+    shard_bounds,
+)
 from .sets import Dedup, HashDedup, MergeUnion, UnionAll
 from .sorting import mrs_sort, sort_stream, srs_sort
 
 __all__ = [
+    "BatchBuilder",
+    "BatchedExecutor",
+    "BlockCharger",
     "ClusteringIndexScan",
     "ComparisonCounter",
     "Compute",
     "CountedKey",
     "CoveringIndexScan",
+    "DEFAULT_BATCH_SIZE",
     "Dedup",
+    "ExchangeUnion",
     "ExecutionContext",
     "Filter",
     "HashAggregate",
@@ -36,17 +59,24 @@ __all__ = [
     "Operator",
     "PartialSort",
     "Project",
+    "RowBatch",
     "RowSource",
+    "ShardedScan",
     "Sort",
     "SortAggregate",
     "SortMetrics",
     "TableScan",
     "TopK",
     "UnionAll",
+    "batches_of",
+    "collect_rows",
+    "flatten_batches",
     "key_function",
     "mrs_sort",
     "null_safe_wrap",
     "operators_from_plan",
+    "shard_bounds",
+    "shard_scans",
     "sort_stream",
     "srs_sort",
 ]

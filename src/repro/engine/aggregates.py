@@ -1,11 +1,12 @@
-"""Grouping/aggregation operators.
+"""Grouping/aggregation operators — batch-vectorized.
 
 * :class:`SortAggregate` ("Group Aggregate" in the paper's plans) —
   streaming aggregation over input sorted on *any permutation* of the
   group-by columns; emits each group as soon as it closes, preserves the
   input's order on the group columns, and needs no memory beyond one
-  group.  Its flexible order requirement is exactly why grouping
-  participates in the interesting-order problem.
+  group (groups freely span batch boundaries).  Its flexible order
+  requirement is exactly why grouping participates in the
+  interesting-order problem.
 
 * :class:`HashAggregate` — orderless fallback; charges spill I/O when
   the group table exceeds memory (which is why PostgreSQL's hash
@@ -14,10 +15,11 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..expr.aggregates import AggSpec, aggregate_output_schema
+from .batch import BatchBuilder, RowBatch, batches_of
 from .context import ExecutionContext
 from .iterators import Operator, null_safe_wrap
 
@@ -55,55 +57,66 @@ class SortAggregate(Operator):
         self.group_columns = group_columns
         self.aggregates = list(aggregates)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         child = self.children[0]
         positions = child.schema.positions(list(self.group_order))
         out_positions = child.schema.positions(self.group_columns)
         arg_fns = [spec.arg.compile(child.schema) for spec in self.aggregates]
         funcs = [spec.function for spec in self.aggregates]
 
-        rows = child.execute(ctx)
+        batches: Iterable[RowBatch] = child.execute_batches(ctx)
         if ctx.check_orders:
-            rows = self._checked_groups(rows, positions)
+            batches = self._checked_group_batches(batches, positions)
 
-        def stream() -> Iterator[tuple]:
+        def stream() -> Iterator[RowBatch]:
+            out = BatchBuilder(ctx.batch_size)
             current_key: Optional[tuple] = None
             current_group: Optional[tuple] = None
             states: list = []
-            for row in rows:
-                key = tuple(row[i] for i in positions)
-                ctx.comparisons.add()
-                if key != current_key:
-                    if current_key is not None:
-                        yield current_group + tuple(
-                            f.final(s) for f, s in zip(funcs, states))
-                    current_key = key
-                    current_group = tuple(row[i] for i in out_positions)
-                    states = [f.init() for f in funcs]
-                for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
-                    value = fn(row)
-                    if value is None and func.ignores_null:
-                        continue
-                    states[j] = func.step(states[j], value)
+            for batch in batches:
+                for row in batch.rows:
+                    key = tuple(row[i] for i in positions)
+                    ctx.comparisons.add()
+                    if key != current_key:
+                        if current_key is not None:
+                            emitted = out.append(current_group + tuple(
+                                f.final(s) for f, s in zip(funcs, states)))
+                            if emitted is not None:
+                                yield emitted
+                        current_key = key
+                        current_group = tuple(row[i] for i in out_positions)
+                        states = [f.init() for f in funcs]
+                    for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
+                        value = fn(row)
+                        if value is None and func.ignores_null:
+                            continue
+                        states[j] = func.step(states[j], value)
             if current_key is not None:
-                yield current_group + tuple(f.final(s) for f, s in zip(funcs, states))
+                emitted = out.append(current_group + tuple(
+                    f.final(s) for f, s in zip(funcs, states)))
+                if emitted is not None:
+                    yield emitted
+            tail = out.flush()
+            if tail is not None:
+                yield tail
 
         return stream()
 
-    def _checked_groups(self, rows: Iterator[tuple],
-                        positions: Sequence[int]) -> Iterator[tuple]:
+    def _checked_group_batches(self, batches: Iterable[RowBatch],
+                               positions: Sequence[int]) -> Iterator[RowBatch]:
         seen: set[tuple] = set()
         prev: Optional[tuple] = None
-        for row in rows:
-            key = tuple(row[i] for i in positions)
-            if key != prev:
-                if key in seen:
-                    raise AssertionError(
-                        f"GroupAggregate: group {key} reappeared — input not "
-                        f"grouped on {self.group_order}")
-                seen.add(key)
-                prev = key
-            yield row
+        for batch in batches:
+            for row in batch.rows:
+                key = tuple(row[i] for i in positions)
+                if key != prev:
+                    if key in seen:
+                        raise AssertionError(
+                            f"GroupAggregate: group {key} reappeared — input not "
+                            f"grouped on {self.group_order}")
+                    seen.add(key)
+                    prev = key
+            yield batch
 
     def details(self) -> str:
         aggs = ", ".join(repr(a) for a in self.aggregates)
@@ -127,24 +140,25 @@ class HashAggregate(Operator):
         self.group_columns = list(group_columns)
         self.aggregates = list(aggregates)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         child = self.children[0]
         positions = child.schema.positions(self.group_columns)
         arg_fns = [spec.arg.compile(child.schema) for spec in self.aggregates]
         funcs = [spec.function for spec in self.aggregates]
 
         groups: dict[tuple, list] = {}
-        for row in child.execute(ctx):
-            key = tuple(row[i] for i in positions)
-            states = groups.get(key)
-            if states is None:
-                states = [f.init() for f in funcs]
-                groups[key] = states
-            for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
-                value = fn(row)
-                if value is None and func.ignores_null:
-                    continue
-                states[j] = func.step(states[j], value)
+        for batch in child.execute_batches(ctx):
+            for row in batch.rows:
+                key = tuple(row[i] for i in positions)
+                states = groups.get(key)
+                if states is None:
+                    states = [f.init() for f in funcs]
+                    groups[key] = states
+                for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
+                    value = fn(row)
+                    if value is None and func.ignores_null:
+                        continue
+                    states[j] = func.step(states[j], value)
 
         state_bytes = len(groups) * self.schema.row_bytes
         if state_bytes > ctx.params.sort_memory_bytes:
@@ -153,11 +167,10 @@ class HashAggregate(Operator):
             ctx.charge_blocks_for_rows(len(groups), self.schema.row_bytes,
                                        direction="read", category="partition")
 
-        def stream() -> Iterator[tuple]:
-            for key, states in groups.items():
-                yield key + tuple(f.final(s) for f, s in zip(funcs, states))
-
-        return stream()
+        return batches_of(
+            (key + tuple(f.final(s) for f, s in zip(funcs, states))
+             for key, states in groups.items()),
+            ctx.batch_size)
 
     def details(self) -> str:
         aggs = ", ".join(repr(a) for a in self.aggregates)

@@ -1,10 +1,20 @@
-"""Row-at-a-time operators: filter, project, compute, sort enforcers, limit.
+"""Tuple-transforming operators: filter, project, compute, sort
+enforcers, limit — batch-vectorized.
+
+Filter, project and compute process a whole
+:class:`~repro.engine.batch.RowBatch` with one list comprehension, so
+the per-row Python dispatch of the seed engine collapses into one
+generator resumption per batch.  Selective operators emit one (possibly
+smaller) batch per input batch instead of re-buffering.
 
 ``Sort`` is the order *enforcer* of the paper: it knows both the target
 order and the order already guaranteed by its input, and picks MRS
 (partial sort) whenever a non-empty prefix is available — unless
 explicitly forced to behave like the standard engines of Experiment A1
-(``algorithm="srs"``).
+(``algorithm="srs"``).  The sort algorithms themselves consume a
+flattened row stream (they materialise runs/segments anyway) and
+re-batch their output, so comparison and I/O tallies are independent of
+the batch size.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Iterator, Optional, Sequence
 from ..core.sort_order import EMPTY_ORDER, SortOrder, longest_common_prefix
 from ..expr.expressions import Expression, Predicate
 from ..storage.schema import Column, Schema
+from .batch import RowBatch, batches_of, flatten_batches
 from .context import CountedKey, ExecutionContext
 from .iterators import Operator, key_function
 from .sorting import sort_stream
@@ -32,9 +43,11 @@ class Filter(Operator):
         super().__init__(child.schema, child.output_order, [child])
         self.predicate = predicate
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         test = self.predicate.compile(self.schema)
-        return (row for row in self.children[0].execute(ctx) if test(row))
+        return (kept
+                for batch in self.children[0].execute_batches(ctx)
+                if (kept := batch.filter(test)))
 
     def details(self) -> str:
         return repr(self.predicate)
@@ -56,10 +69,10 @@ class Project(Operator):
         super().__init__(schema, order, [child])
         self._positions = child.schema.positions(list(columns))
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         positions = self._positions
-        return (tuple(row[i] for i in positions)
-                for row in self.children[0].execute(ctx))
+        return (RowBatch(batch.take(positions))
+                for batch in self.children[0].execute_batches(ctx))
 
     def details(self) -> str:
         return ", ".join(self.schema.names)
@@ -80,10 +93,10 @@ class Compute(Operator):
         super().__init__(schema, child.output_order, [child])
         self.outputs = list(outputs)
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         fns = [expr.compile(self.children[0].schema) for _, expr in self.outputs]
-        for row in self.children[0].execute(ctx):
-            yield row + tuple(fn(row) for fn in fns)
+        return (RowBatch([row + tuple(fn(row) for fn in fns) for row in batch.rows])
+                for batch in self.children[0].execute_batches(ctx))
 
     def details(self) -> str:
         return ", ".join(f"{name}={expr}" for name, expr in self.outputs)
@@ -110,14 +123,15 @@ class Sort(Operator):
         self.known_prefix = known_prefix
         self.algorithm = algorithm
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         child = self.children[0]
-        rows = child.execute(ctx)
+        rows = flatten_batches(child.execute_batches(ctx))
         if ctx.check_orders and self.known_prefix:
             rows = self._check_input_prefix(rows, ctx)
         out = sort_stream(rows, self.schema, self.output_order, ctx,
                           known_prefix=self.known_prefix, algorithm=self.algorithm)
-        return self._maybe_checked(out, ctx, self.output_order, "Sort output")
+        out = self._maybe_checked(out, ctx, self.output_order, "Sort output")
+        return batches_of(out, ctx.batch_size)
 
     def _check_input_prefix(self, rows: Iterator[tuple],
                             ctx: ExecutionContext) -> Iterator[tuple]:
@@ -156,7 +170,11 @@ class PartialSort(Sort):
 
 
 class Limit(Operator):
-    """Pass through the first *k* rows (ORDER BY ... LIMIT k on sorted input)."""
+    """Pass through the first *k* rows (ORDER BY ... LIMIT k on sorted input).
+
+    Stops pulling from the child once *k* rows arrived — early
+    termination at batch granularity, so upstream stops paying I/O.
+    """
 
     name = "Limit"
 
@@ -166,12 +184,17 @@ class Limit(Operator):
         super().__init__(child.schema, child.output_order, [child])
         self.k = k
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        it = self.children[0].execute(ctx)
-        for i, row in enumerate(it):
-            if i >= self.k:
-                break
-            yield row
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        remaining = self.k
+        if remaining == 0:
+            return
+        for batch in self.children[0].execute_batches(ctx):
+            if len(batch) < remaining:
+                remaining -= len(batch)
+                yield batch
+            else:
+                yield RowBatch(batch.rows[:remaining])
+                return
 
     def details(self) -> str:
         return f"k={self.k}"
@@ -192,14 +215,14 @@ class TopK(Operator):
         super().__init__(child.schema, order, [child])
         self.k = k
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         key_fn = key_function(self.schema, self.output_order)
         counter = ctx.comparisons
         # nsmallest with counted keys tallies its comparisons.
         rows = heapq.nsmallest(
-            self.k, self.children[0].execute(ctx),
+            self.k, flatten_batches(self.children[0].execute_batches(ctx)),
             key=lambda r: CountedKey(key_fn(r), counter))
-        return iter(rows)
+        return batches_of(rows, ctx.batch_size)
 
     def details(self) -> str:
         return f"k={self.k} by {self.output_order}"

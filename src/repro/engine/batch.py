@@ -1,0 +1,188 @@
+"""Row batches: the unit of data flow between physical operators.
+
+The engine executes **batch-vectorized pull**: ``Operator.execute_batches``
+yields :class:`RowBatch` chunks instead of single tuples, so the
+Python-level dispatch cost (one generator resumption, one virtual call)
+is paid once per *batch* rather than once per *row*.  A batch is a thin
+wrapper over a list of row tuples with columnar accessors; operators
+like filter and project process a whole batch with a single list
+comprehension.
+
+Contract (see ``docs/execution.md``):
+
+* batches are **non-empty**; an empty stream yields no batches;
+* batch *sizes are a hint*, not a guarantee — producers aim for
+  ``ExecutionContext.batch_size`` rows but selective operators may emit
+  smaller batches rather than re-buffer;
+* concatenating the batches of a stream yields exactly the rows (and
+  row order) the row-at-a-time engine produced — simulated I/O and
+  comparison counts are **independent of the batch size** for
+  run-to-completion queries (early-terminating consumers pay I/O at
+  batch granularity; ``batch_size=1`` reproduces row-level payment).
+
+``BlockCharger`` implements batch-aware block accounting: it charges
+each simulated disk block exactly once as the scan cursor crosses it,
+which makes the totals identical to the seed engine's per-row
+progressive charging for every batch size.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+#: Default number of rows per batch.  Large enough to amortize operator
+#: dispatch, small enough that a batch of wide rows stays cache-friendly.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class RowBatch:
+    """A chunk of row tuples flowing between operators.
+
+    Deliberately minimal: iteration, length, indexing, and columnar
+    accessors.  The wrapped list is owned by the batch — operators that
+    need to mutate rows must copy.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list[tuple]) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, i: int) -> tuple:
+        return self.rows[i]
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    # -- columnar access -------------------------------------------------------------
+    def column(self, position: int) -> list:
+        """All values of one column (by schema position)."""
+        return [row[position] for row in self.rows]
+
+    def take(self, positions: Sequence[int]) -> list[tuple]:
+        """Project every row to the given positions (new tuples)."""
+        return [tuple(row[i] for i in positions) for row in self.rows]
+
+    def filter(self, keep: Callable[[tuple], bool]) -> "RowBatch":
+        """A new batch holding only rows satisfying *keep*."""
+        return RowBatch([row for row in self.rows if keep(row)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowBatch({len(self.rows)} rows)"
+
+
+def batches_of(rows: Iterable[tuple], batch_size: int) -> Iterator[RowBatch]:
+    """Chunk a row iterable into non-empty batches of ≤ *batch_size*."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    it = iter(rows)
+    while True:
+        chunk = list(islice(it, batch_size))
+        if not chunk:
+            return
+        yield RowBatch(chunk)
+
+
+def flatten_batches(batches: Iterable[RowBatch]) -> Iterator[tuple]:
+    """The row stream of a batch stream (for row-level consumers)."""
+    for batch in batches:
+        yield from batch.rows
+
+
+def collect_rows(batches: Iterable[RowBatch]) -> list[tuple]:
+    """Materialise a batch stream to a row list (drives it to completion)."""
+    out: list[tuple] = []
+    for batch in batches:
+        out.extend(batch.rows)
+    return out
+
+
+class BatchBuilder:
+    """Accumulates output rows and emits full batches.
+
+    Usage inside an operator generator::
+
+        out = BatchBuilder(ctx.batch_size)
+        for batch in child.execute_batches(ctx):
+            for row in batch:
+                ...
+                full = out.append(result_row)
+                if full is not None:
+                    yield full
+        tail = out.flush()
+        if tail is not None:
+            yield tail
+    """
+
+    __slots__ = ("batch_size", "_rows")
+
+    def __init__(self, batch_size: int) -> None:
+        self.batch_size = batch_size
+        self._rows: list[tuple] = []
+
+    def append(self, row: tuple) -> Optional[RowBatch]:
+        """Add one row; returns a full batch when the buffer fills."""
+        self._rows.append(row)
+        if len(self._rows) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def extend(self, rows: Iterable[tuple]) -> Optional[RowBatch]:
+        """Add many rows; returns a (possibly oversized) batch when full."""
+        self._rows.extend(rows)
+        if len(self._rows) >= self.batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[RowBatch]:
+        """Emit whatever is buffered (None when empty)."""
+        if not self._rows:
+            return None
+        batch = RowBatch(self._rows)
+        self._rows = []
+        return batch
+
+
+class BlockCharger:
+    """Charges each simulated disk block exactly once per scan.
+
+    Works on *global row indices*: block ``b`` holds rows
+    ``[b·per_block, (b+1)·per_block)``.  ``charge_range(start, end)``
+    charges every not-yet-charged block overlapping ``[start, end)``.
+    For a scan starting at row 0 the total equals the seed engine's
+    per-row progressive charging (one block per ``per_block`` rows) for
+    any batching; for a sharded scan starting mid-block the opening
+    partial block is charged too — a shard really does read it.
+    """
+
+    __slots__ = ("io", "per_block", "category", "_last_block")
+
+    def __init__(self, io, per_block: int, category: str = "scan") -> None:
+        if per_block < 1:
+            raise ValueError("per_block must be >= 1")
+        self.io = io
+        self.per_block = per_block
+        self.category = category
+        self._last_block = -1
+
+    def charge_range(self, start: int, end: int) -> int:
+        """Charge blocks for rows ``[start, end)``; returns blocks charged."""
+        if end <= start:
+            return 0
+        first = start // self.per_block
+        last = (end - 1) // self.per_block
+        if first <= self._last_block:
+            first = self._last_block + 1
+        if last < first:
+            return 0
+        blocks = last - first + 1
+        self.io.read(blocks, category=self.category)
+        self._last_block = last
+        return blocks

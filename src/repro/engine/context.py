@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, TYPE_CHECKING
 
 from ..storage.catalog import Catalog, SystemParameters
+from .batch import DEFAULT_BATCH_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.schema import Schema
@@ -130,7 +131,8 @@ class ExecutionContext:
 
     def __init__(self, catalog: Optional[Catalog] = None,
                  params: Optional[SystemParameters] = None,
-                 check_orders: bool = False) -> None:
+                 check_orders: bool = False,
+                 batch_size: Optional[int] = None) -> None:
         self.catalog = catalog
         self.params = params or (catalog.params if catalog else SystemParameters())
         self.io = IOAccountant()
@@ -139,6 +141,12 @@ class ExecutionContext:
         #: When true, order-requiring operators verify their inputs are
         #: actually sorted (used heavily in tests; off in benchmarks).
         self.check_orders = check_orders
+        #: Rows per :class:`~repro.engine.batch.RowBatch` produced by
+        #: operators (a hint — selective operators may emit smaller
+        #: batches).  ``batch_size=1`` degenerates to row-at-a-time.
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
 
     # -- derived ---------------------------------------------------------------------
     def cost_units(self) -> float:
@@ -175,6 +183,32 @@ class ExecutionContext:
             if i % per_block == 0:
                 self.io.read(1, category=category)
             yield row
+
+    # -- parallel shard driving ----------------------------------------------------------
+    def fork(self) -> "ExecutionContext":
+        """A child context with fresh accountants (one per shard worker).
+
+        Workers charge their own context; the driver folds the tallies
+        back with :meth:`absorb` in shard order, so totals stay
+        deterministic regardless of thread interleaving.
+        """
+        return ExecutionContext(self.catalog, self.params, self.check_orders,
+                                self.batch_size)
+
+    def absorb(self, child: "ExecutionContext") -> None:
+        """Fold a forked context's counters into this one."""
+        self.io.blocks_read += child.io.blocks_read
+        self.io.blocks_written += child.io.blocks_written
+        self.io.scan_blocks += child.io.scan_blocks
+        self.io.run_blocks_written += child.io.run_blocks_written
+        self.io.run_blocks_read += child.io.run_blocks_read
+        self.io.partition_blocks += child.io.partition_blocks
+        self.comparisons.value += child.comparisons.value
+        self.sort_metrics.runs_created += child.sort_metrics.runs_created
+        self.sort_metrics.segments_sorted += child.sort_metrics.segments_sorted
+        self.sort_metrics.rows_spilled += child.sort_metrics.rows_spilled
+        self.sort_metrics.merge_passes += child.sort_metrics.merge_passes
+        self.sort_metrics.in_memory_sorts += child.sort_metrics.in_memory_sorts
 
     def reset(self) -> None:
         self.io = IOAccountant()

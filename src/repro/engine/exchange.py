@@ -1,0 +1,136 @@
+"""Exchange operators: fan N shard streams back into one stream.
+
+:class:`ExchangeUnion` is the gather side of a scan fan-out: its
+children are the shards of one logical stream (built by
+:func:`shard_scans`), and it concatenates their batches in shard order.
+Because :class:`~repro.engine.scans.ShardedScan` partitions a table into
+*contiguous* row ranges, concatenation in shard order reproduces the
+unsharded scan's row sequence exactly — including its clustering order —
+so everything above the exchange is oblivious to the sharding.
+
+With ``max_workers > 1`` the children are executed concurrently on a
+thread pool, each charging a forked
+:class:`~repro.engine.context.ExecutionContext` whose counters are
+folded back in shard order — totals stay deterministic regardless of
+thread interleaving.  (CPython threads don't speed up pure-Python
+operator code, but the pool exercises the exact driver structure the
+async serving loop will reuse, and I/O-bound backends benefit today.)
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Sequence
+
+from ..core.sort_order import EMPTY_ORDER
+from .batch import RowBatch
+from .context import ExecutionContext
+from .iterators import Operator
+from .scans import ClusteringIndexScan, ShardedScan, TableScan
+
+
+def _common_contiguous_order(children: Sequence[Operator]):
+    """The order preserved by concatenating *children* in sequence.
+
+    Guaranteed only when the children are consecutive contiguous shards
+    of one table (the shape :func:`shard_scans` builds); anything else
+    gets ε — concatenating independently sorted streams is not sorted.
+    """
+    if not all(isinstance(c, TableScan) for c in children):
+        return EMPTY_ORDER
+    table = children[0].table  # type: ignore[attr-defined]
+    count = children[0].shard_count  # type: ignore[attr-defined]
+    if count != len(children):
+        return EMPTY_ORDER
+    for i, child in enumerate(children):
+        if (child.table is not table or child.shard_count != count
+                or child.shard_index != i):  # type: ignore[attr-defined]
+            return EMPTY_ORDER
+    return children[0].output_order
+
+
+class ExchangeUnion(Operator):
+    """Concatenate N shard streams in shard order (order-preserving
+    gather for contiguous shards)."""
+
+    name = "ExchangeUnion"
+
+    def __init__(self, children: Sequence[Operator], max_workers: int = 1) -> None:
+        if not children:
+            raise ValueError("ExchangeUnion needs at least one child")
+        first = children[0].schema
+        for child in children[1:]:
+            if child.schema.names != first.names:
+                raise ValueError("ExchangeUnion children must share a schema")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        super().__init__(first, _common_contiguous_order(children), children)
+        self.max_workers = max_workers
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        if self.max_workers > 1 and len(self.children) > 1:
+            return self._parallel(ctx)
+        return self._serial(ctx)
+
+    def _serial(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        for child in self.children:
+            yield from child.execute_batches(ctx)
+
+    def _parallel(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Eager gather: every shard runs to completion on the pool.
+
+        All forked tallies are folded into the parent *before* the first
+        batch is handed downstream — the work ran, so it is charged even
+        if the consumer stops early.  The materialisation this implies is
+        the classic eager-exchange trade-off (workers don't pause);
+        early-terminating consumers that care about I/O should drive the
+        serial path.
+        """
+        def drain(child: Operator) -> tuple[ExecutionContext, list[RowBatch]]:
+            forked = ctx.fork()
+            return forked, list(child.execute_batches(forked))
+
+        workers = min(self.max_workers, len(self.children))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = [future.result()
+                       for future in [pool.submit(drain, child)
+                                      for child in self.children]]
+        for forked, _ in results:
+            ctx.absorb(forked)
+        for _, batches in results:
+            yield from batches
+
+    def details(self) -> str:
+        suffix = f", {self.max_workers} workers" if self.max_workers > 1 else ""
+        return f"{len(self.children)} shards{suffix}"
+
+
+def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operator:
+    """Rewrite full table scans into ExchangeUnion-of-ShardedScan fan-outs.
+
+    Non-destructive: the caller's tree is never touched.  Operators on
+    the path to a replaced scan are shallow-copied with rebuilt child
+    tuples (the replacement has the same schema and output order, so
+    parents' precomputed positions stay valid); untouched subtrees are
+    shared.  Re-running or re-sharding the original tree at a different
+    parallelism therefore behaves identically.  Scans already sharded,
+    stats-only tables and covering-index scans are left alone.
+    """
+    if shard_count < 2:
+        return op
+    if (isinstance(op, (TableScan, ClusteringIndexScan))
+            and not isinstance(op, ShardedScan)
+            and getattr(op, "shard_count", 1) == 1
+            and op.table.is_materialized
+            and len(op.table.rows) >= shard_count):
+        shards = [ShardedScan(op.table, shard_count, i)
+                  for i in range(shard_count)]
+        return ExchangeUnion(shards, max_workers=max_workers)
+    new_children = tuple(shard_scans(c, shard_count, max_workers)
+                         for c in op.children)
+    if all(new is old for new, old in zip(new_children, op.children)):
+        return op
+    clone = copy.copy(op)
+    clone.children = new_children
+    return clone

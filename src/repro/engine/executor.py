@@ -1,0 +1,62 @@
+"""The batched executor driver: the loop that pulls a plan to completion.
+
+:class:`BatchedExecutor` is the single entry point the serving layer
+uses to run a lowered operator tree: it optionally fans table scans out
+into shards (:func:`~repro.engine.exchange.shard_scans`), then pulls
+batches from the root.  Centralising the drive loop here — instead of
+each caller doing ``list(op.execute(ctx))`` — gives one place to hang
+parallel shard workers today and the async serving loop later.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .batch import RowBatch, collect_rows
+from .context import ExecutionContext
+from .exchange import shard_scans
+from .iterators import Operator
+
+
+class BatchedExecutor:
+    """Drives operator trees batch-by-batch, optionally sharded.
+
+    ``parallelism`` — number of shards each full table scan is split
+    into (1 = leave the plan untouched).  ``use_threads`` — run shards
+    on a thread pool (per-shard forked contexts, deterministic merged
+    tallies); off by default since CPython threads don't help
+    CPU-bound operator code.
+    """
+
+    def __init__(self, parallelism: int = 1, use_threads: bool = False,
+                 batch_size: Optional[int] = None) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.use_threads = use_threads
+        self.batch_size = batch_size
+
+    def prepare(self, op: Operator) -> Operator:
+        """Apply the sharding rewrite for this executor's parallelism."""
+        if self.parallelism > 1:
+            max_workers = self.parallelism if self.use_threads else 1
+            op = shard_scans(op, self.parallelism, max_workers=max_workers)
+        return op
+
+    def _context(self, op: Operator,
+                 ctx: Optional[ExecutionContext]) -> ExecutionContext:
+        if ctx is not None:
+            return ctx
+        return ExecutionContext(batch_size=self.batch_size)
+
+    def execute_batches(self, op: Operator,
+                        ctx: Optional[ExecutionContext] = None
+                        ) -> Iterator[RowBatch]:
+        """Batch stream of the (sharded) plan."""
+        ctx = self._context(op, ctx)
+        return self.prepare(op).execute_batches(ctx)
+
+    def run(self, op: Operator,
+            ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        """Execute fully, collecting all result rows."""
+        return collect_rows(self.execute_batches(op, ctx))

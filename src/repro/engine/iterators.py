@@ -1,25 +1,30 @@
-"""Physical operator base class (Volcano iterator model).
+"""Physical operator base class (batch-vectorized Volcano model).
 
 Every operator exposes:
 
 * ``schema`` — output :class:`~repro.storage.schema.Schema`;
 * ``output_order`` — the :class:`~repro.core.sort_order.SortOrder`
   *guaranteed* on its output stream;
-* ``execute(ctx)`` — a generator of row tuples, charging simulated I/O
-  and comparisons to the :class:`~repro.engine.context.ExecutionContext`;
+* ``execute_batches(ctx)`` — the **primary** execution method: a
+  generator of :class:`~repro.engine.batch.RowBatch` chunks, charging
+  simulated I/O and comparisons to the
+  :class:`~repro.engine.context.ExecutionContext`;
+* ``execute(ctx)`` — row-at-a-time view of the same stream (the seed
+  engine's API, kept for compatibility; it simply flattens batches);
 * ``explain()`` — a pretty-printed plan tree like the paper's figures.
 
-Operators are *plans*, not live cursors: ``execute`` may be called
-repeatedly (each call is an independent execution), which the benchmark
-harness relies on.
+Operators are *plans*, not live cursors: ``execute``/``execute_batches``
+may be called repeatedly (each call is an independent execution), which
+the benchmark harness relies on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..storage.schema import Schema
+from .batch import RowBatch, batches_of, collect_rows, flatten_batches
 from .context import ExecutionContext
 
 
@@ -35,13 +40,27 @@ class Operator:
         self.children: tuple[Operator, ...] = tuple(children)
 
     # -- execution ---------------------------------------------------------------
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Yield the output as row batches (the engine's native path).
+
+        The fallback wraps a row-level ``execute`` override into batches,
+        so third-party operators written against the seed's row-at-a-time
+        API keep working inside a batched plan.
+        """
+        if type(self).execute is Operator.execute:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither execute_batches "
+                f"nor execute")
+        return batches_of(self.execute(ctx), ctx.batch_size)
+
     def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        raise NotImplementedError
+        """Row-at-a-time view: flattens :meth:`execute_batches`."""
+        return flatten_batches(self.execute_batches(ctx))
 
     def run(self, ctx: Optional[ExecutionContext] = None) -> list[tuple]:
         """Execute fully and collect the result (convenience for tests)."""
         ctx = ctx or ExecutionContext()
-        return list(self.execute(ctx))
+        return collect_rows(self.execute_batches(ctx))
 
     # -- order verification --------------------------------------------------------
     def _maybe_checked(self, rows: Iterator[tuple], ctx: ExecutionContext,
@@ -50,7 +69,7 @@ class Operator:
         if not ctx.check_orders or not order or not self.schema.has_all(list(order)):
             return rows
         positions = self.schema.positions(list(order))
-        return _assert_sorted(rows, positions, what)
+        return assert_sorted_rows(rows, positions, what)
 
     # -- introspection ---------------------------------------------------------------
     def details(self) -> str:
@@ -76,16 +95,43 @@ class Operator:
         return f"{type(self).__name__}({self.details()})"
 
 
-def _assert_sorted(rows: Iterator[tuple], positions: Sequence[int],
-                   what: str) -> Iterator[tuple]:
-    prev: Optional[tuple] = None
-    for row in rows:
-        key = null_safe_wrap(tuple(row[i] for i in positions))
-        if prev is not None and key < prev:
+class _SortednessProbe:
+    """The one sortedness assertion, shared by every checked operator
+    (row streams and batch streams alike)."""
+
+    __slots__ = ("positions", "what", "prev")
+
+    def __init__(self, positions: Sequence[int], what: str) -> None:
+        self.positions = tuple(positions)
+        self.what = what
+        self.prev: Optional[tuple] = None
+
+    def check(self, row: tuple) -> None:
+        key = null_safe_wrap(tuple(row[i] for i in self.positions))
+        if self.prev is not None and key < self.prev:
             raise AssertionError(
-                f"{what}: stream not sorted — saw {key} after {prev}")
-        prev = key
+                f"{self.what}: stream not sorted — saw {key} after {self.prev}")
+        self.prev = key
+
+
+def assert_sorted_rows(rows: Iterator[tuple], positions: Sequence[int],
+                       what: str) -> Iterator[tuple]:
+    """Row-granular sortedness check (used on flattened streams)."""
+    probe = _SortednessProbe(positions, what)
+    for row in rows:
+        probe.check(row)
         yield row
+
+
+def assert_sorted_batches(batches: Iterable[RowBatch],
+                          positions: Sequence[int],
+                          what: str) -> Iterator[RowBatch]:
+    """Batch-granular sortedness check, carrying state across batches."""
+    probe = _SortednessProbe(positions, what)
+    for batch in batches:
+        for row in batch.rows:
+            probe.check(row)
+        yield batch
 
 
 def null_safe_wrap(values: tuple) -> tuple:

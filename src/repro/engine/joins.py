@@ -1,15 +1,18 @@
 """Join operators: merge join (inner/left/full outer), hash join, block
-nested-loops join.
+nested-loops join — batch-vectorized.
 
 Merge join is the operator with the factorial space of interesting
 orders: its inputs must both be sorted on *the same* permutation of the
 join attribute set, and its output inherits that permutation — which is
 why the optimizer's choice of permutation matters so much (Section 4).
+Its group-by-group merge consumes flattened row streams (groups cross
+batch boundaries) and re-batches the joined output.
 
 The hash join models Grace-style partitioning I/O when the build side
 exceeds memory, so the optimizer's hash-vs-merge trade-off (Figure 11)
-is faithful.  Nested loops preserves the outer input's order, which the
-afm computation exploits (Section 5.1.2, case 4).
+is faithful; it builds from batches and probes a whole batch at a time.
+Nested loops preserves the outer input's order, which the afm
+computation exploits (Section 5.1.2, case 4).
 """
 
 from __future__ import annotations
@@ -20,8 +23,9 @@ from typing import Iterator, Optional, Sequence
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..expr.expressions import JoinPredicate, Predicate
 from ..storage.schema import Schema
+from .batch import BatchBuilder, RowBatch, batches_of, collect_rows, flatten_batches
 from .context import ExecutionContext
-from .iterators import Operator, null_safe_wrap
+from .iterators import Operator, assert_sorted_rows, null_safe_wrap
 
 JOIN_TYPES = ("inner", "left", "full")
 
@@ -89,16 +93,17 @@ class MergeJoin(Operator):
         self.predicate = predicate
         self.join_type = join_type
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         left, right = self.children
         lpos = left.schema.positions(list(self.predicate.left_columns))
         rpos = right.schema.positions(list(self.predicate.right_columns))
-        lrows = left.execute(ctx)
-        rrows = right.execute(ctx)
+        lrows = flatten_batches(left.execute_batches(ctx))
+        rrows = flatten_batches(right.execute_batches(ctx))
         if ctx.check_orders:
-            lrows = _check_sorted_stream(lrows, lpos, "MergeJoin left input")
-            rrows = _check_sorted_stream(rrows, rpos, "MergeJoin right input")
-        return self._merge(ctx, lrows, rrows, lpos, rpos)
+            lrows = assert_sorted_rows(lrows, lpos, "MergeJoin left input")
+            rrows = assert_sorted_rows(rrows, rpos, "MergeJoin right input")
+        return batches_of(self._merge(ctx, lrows, rrows, lpos, rpos),
+                          ctx.batch_size)
 
     def _merge(self, ctx: ExecutionContext, lrows: Iterator[tuple],
                rrows: Iterator[tuple], lpos: Sequence[int],
@@ -163,11 +168,12 @@ class MergeJoin(Operator):
 class HashJoin(Operator):
     """In-memory hash join with simulated Grace partitioning I/O.
 
-    Builds on the left input, probes with the right.  When the build side
-    exceeds sort memory, both inputs are charged one extra write+read
-    (partitioning pass), the classic Grace cost ``2(B_l + B_r)`` on top
-    of the scans.  Output order is unspecified (ε) — hash partitioning
-    destroys order, which is what the paper assumes for hash operators.
+    Builds on the left input, probes with the right — one whole batch
+    per probe step.  When the build side exceeds sort memory, both
+    inputs are charged one extra write+read (partitioning pass), the
+    classic Grace cost ``2(B_l + B_r)`` on top of the scans.  Output
+    order is unspecified (ε) — hash partitioning destroys order, which
+    is what the paper assumes for hash operators.
     """
 
     name = "HashJoin"
@@ -181,7 +187,7 @@ class HashJoin(Operator):
         self.predicate = predicate
         self.join_type = join_type
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         if self.join_type == "left":
             return self._left_outer(ctx)
         return self._build_left(ctx)
@@ -193,7 +199,7 @@ class HashJoin(Operator):
         ctx.charge_blocks_for_rows(num_rows, row_bytes, direction="read",
                                    category="partition")
 
-    def _build_left(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def _build_left(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         """Inner and FULL OUTER: build on left, probe with right."""
         left, right = self.children
         lpos = left.schema.positions(list(self.predicate.left_columns))
@@ -201,7 +207,7 @@ class HashJoin(Operator):
         lwidth, rwidth = len(left.schema), len(right.schema)
         full = self.join_type == "full"
 
-        build_rows = list(left.execute(ctx))
+        build_rows = collect_rows(left.execute_batches(ctx))
         spills = len(build_rows) * left.schema.row_bytes > ctx.params.sort_memory_bytes
         if spills:
             self._charge_grace(ctx, len(build_rows), left.schema.row_bytes)
@@ -217,17 +223,22 @@ class HashJoin(Operator):
 
         matched_keys: set[tuple] = set()
         probe_count = 0
-        for rrow in right.execute(ctx):
-            probe_count += 1
-            key = tuple(rrow[i] for i in rpos)
-            group = None if any(v is None for v in key) else table.get(key)
-            if group:
-                if full:
-                    matched_keys.add(key)
-                for lrow in group:
-                    yield lrow + rrow
-            elif full:
-                yield _pad(lwidth) + rrow
+        out = BatchBuilder(ctx.batch_size)
+        for rbatch in right.execute_batches(ctx):
+            probe_count += len(rbatch)
+            for rrow in rbatch.rows:
+                key = tuple(rrow[i] for i in rpos)
+                group = None if any(v is None for v in key) else table.get(key)
+                if group:
+                    if full:
+                        matched_keys.add(key)
+                    emitted = out.extend(lrow + rrow for lrow in group)
+                elif full:
+                    emitted = out.append(_pad(lwidth) + rrow)
+                else:
+                    emitted = None
+                if emitted is not None:
+                    yield emitted
         if spills:
             self._charge_grace(ctx, probe_count, right.schema.row_bytes)
 
@@ -236,19 +247,24 @@ class HashJoin(Operator):
             for key, group in table.items():
                 if key in matched_keys:
                     continue
-                for lrow in group:
-                    yield lrow + pad
-            for lrow in null_build_rows:
-                yield lrow + pad
+                emitted = out.extend(lrow + pad for lrow in group)
+                if emitted is not None:
+                    yield emitted
+            emitted = out.extend(lrow + pad for lrow in null_build_rows)
+            if emitted is not None:
+                yield emitted
+        tail = out.flush()
+        if tail is not None:
+            yield tail
 
-    def _left_outer(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def _left_outer(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         """LEFT OUTER: build on right, stream left, pad misses."""
         left, right = self.children
         lpos = left.schema.positions(list(self.predicate.left_columns))
         rpos = right.schema.positions(list(self.predicate.right_columns))
         rwidth = len(right.schema)
 
-        build_rows = list(right.execute(ctx))
+        build_rows = collect_rows(right.execute_batches(ctx))
         spills = len(build_rows) * right.schema.row_bytes > ctx.params.sort_memory_bytes
         if spills:
             self._charge_grace(ctx, len(build_rows), right.schema.row_bytes)
@@ -260,17 +276,23 @@ class HashJoin(Operator):
 
         pad = _pad(rwidth)
         probe_count = 0
-        for lrow in left.execute(ctx):
-            probe_count += 1
-            key = tuple(lrow[i] for i in lpos)
-            group = None if any(v is None for v in key) else rtable.get(key)
-            if group:
-                for rrow in group:
-                    yield lrow + rrow
-            else:
-                yield lrow + pad
+        out = BatchBuilder(ctx.batch_size)
+        for lbatch in left.execute_batches(ctx):
+            probe_count += len(lbatch)
+            for lrow in lbatch.rows:
+                key = tuple(lrow[i] for i in lpos)
+                group = None if any(v is None for v in key) else rtable.get(key)
+                if group:
+                    emitted = out.extend(lrow + rrow for rrow in group)
+                else:
+                    emitted = out.append(lrow + pad)
+                if emitted is not None:
+                    yield emitted
         if spills:
             self._charge_grace(ctx, probe_count, left.schema.row_bytes)
+        tail = out.flush()
+        if tail is not None:
+            yield tail
 
     def details(self) -> str:
         kind = "" if self.join_type == "inner" else f" {self.join_type.upper()} OUTER"
@@ -295,9 +317,9 @@ class NestedLoopsJoin(Operator):
         self.predicate = predicate
         self.residual = residual
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         left, right = self.children
-        inner = list(right.execute(ctx))
+        inner = collect_rows(right.execute_batches(ctx))
         inner_blocks = math.ceil(len(inner) * right.schema.row_bytes
                                  / ctx.params.block_size) if inner else 0
         outer_rows_per_load = ctx.memory_capacity_rows(left.schema.row_bytes)
@@ -307,35 +329,33 @@ class NestedLoopsJoin(Operator):
         rpos = right.schema.positions([r for _, r in pairs]) if pairs else ()
         residual_fn = self.residual.compile(self.schema) if self.residual else None
 
-        def stream() -> Iterator[tuple]:
-            for i, lrow in enumerate(left.execute(ctx)):
-                if i % outer_rows_per_load == 0 and inner_blocks:
-                    # One full inner re-read per outer memory-load.
-                    ctx.io.read(inner_blocks, category="scan")
-                lkey = tuple(lrow[p] for p in lpos)
-                for rrow in inner:
-                    if pairs:
-                        rkey = tuple(rrow[p] for p in rpos)
-                        ctx.comparisons.add()
-                        if lkey != rkey or any(v is None for v in lkey):
+        def stream() -> Iterator[RowBatch]:
+            out = BatchBuilder(ctx.batch_size)
+            i = 0
+            for lbatch in left.execute_batches(ctx):
+                for lrow in lbatch.rows:
+                    if i % outer_rows_per_load == 0 and inner_blocks:
+                        # One full inner re-read per outer memory-load.
+                        ctx.io.read(inner_blocks, category="scan")
+                    i += 1
+                    lkey = tuple(lrow[p] for p in lpos)
+                    for rrow in inner:
+                        if pairs:
+                            rkey = tuple(rrow[p] for p in rpos)
+                            ctx.comparisons.add()
+                            if lkey != rkey or any(v is None for v in lkey):
+                                continue
+                        row = lrow + rrow
+                        if residual_fn is not None and not residual_fn(row):
                             continue
-                    out = lrow + rrow
-                    if residual_fn is not None and not residual_fn(out):
-                        continue
-                    yield out
+                        emitted = out.append(row)
+                        if emitted is not None:
+                            yield emitted
+            tail = out.flush()
+            if tail is not None:
+                yield tail
 
         return stream()
 
     def details(self) -> str:
         return repr(self.predicate) if self.predicate else "cross"
-
-
-def _check_sorted_stream(rows: Iterator[tuple], positions: Sequence[int],
-                         what: str) -> Iterator[tuple]:
-    prev: Optional[tuple] = None
-    for row in rows:
-        key = null_safe_wrap(tuple(row[i] for i in positions))
-        if prev is not None and key < prev:
-            raise AssertionError(f"{what}: not sorted — {key} after {prev}")
-        prev = key
-        yield row

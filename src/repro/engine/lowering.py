@@ -7,6 +7,8 @@ Payload (``args``) conventions per plan ``op``:
 op                     args
 =====================  ==========================================================
 ``TableScan``          ``table`` (name)
+``ShardedScan``        ``table``, ``shard_count``, ``shard_index``
+``ExchangeUnion``      n-ary children; ``max_workers`` (optional)
 ``ClusteringIndexScan``  ``table``
 ``CoveringIndexScan``  ``table``, ``index`` (names)
 ``Filter``             ``predicate``
@@ -34,9 +36,10 @@ from typing import TYPE_CHECKING
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from .aggregates import HashAggregate, SortAggregate
 from .basic import Compute, Filter, Limit, Project, Sort
+from .exchange import ExchangeUnion
 from .iterators import Operator
 from .joins import HashJoin, MergeJoin, NestedLoopsJoin
-from .scans import ClusteringIndexScan, CoveringIndexScan, TableScan
+from .scans import ClusteringIndexScan, CoveringIndexScan, ShardedScan, TableScan
 from .sets import Dedup, HashDedup, MergeUnion, UnionAll
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +53,11 @@ def operators_from_plan(plan, catalog: "Catalog") -> Operator:
 
     if op == "TableScan":
         return TableScan(catalog.table(plan.arg("table")))
+    if op == "ShardedScan":
+        return ShardedScan(catalog.table(plan.arg("table")),
+                           plan.arg("shard_count"), plan.arg("shard_index"))
+    if op == "ExchangeUnion":
+        return ExchangeUnion(children, plan.arg("max_workers", 1))
     if op == "ClusteringIndexScan":
         return ClusteringIndexScan(catalog.table(plan.arg("table")))
     if op == "CoveringIndexScan":

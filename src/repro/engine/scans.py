@@ -1,4 +1,5 @@
-"""Scan operators: table scan, clustering-index scan, covering-index scan.
+"""Scan operators: table scan, clustering-index scan, covering-index
+scan, and sharded (partitioned) table scans.
 
 The distinction the paper draws (Figures 1, 2, 10, 11):
 
@@ -11,6 +12,20 @@ The distinction the paper draws (Figures 1, 2, 10, 11):
   index leaf blocks and delivers the *index key order* without touching
   data pages; this is what makes alternative sort orders cheap and is
   the main motivation for favorable orders.
+
+Scans are the batch producers of the engine: they slice the table's row
+list directly into :class:`~repro.engine.batch.RowBatch` chunks and
+charge block I/O per batch via :class:`~repro.engine.batch.BlockCharger`
+(totals identical to the seed's per-row progressive charging).
+
+**Sharding**: every table scan carries a partition spec
+``(shard_count, shard_index)``; shard *i* covers the contiguous row
+range ``[i·n/count, (i+1)·n/count)``.  Contiguous ranges mean each shard
+inherits the table's clustering order *and* concatenating the shards in
+index order reproduces the full clustered stream — which is what lets
+:class:`~repro.engine.exchange.ExchangeUnion` fan shards back together
+without a merge.  A shard whose range starts mid-block charges that
+opening partial block too: it really does read it.
 """
 
 from __future__ import annotations
@@ -19,24 +34,81 @@ from typing import Iterator, Optional
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..storage.table import Index, Table
+from .batch import BlockCharger, RowBatch, batches_of
 from .context import ExecutionContext
 from .iterators import Operator
 
 
+def shard_bounds(num_rows: int, shard_count: int, shard_index: int) -> tuple[int, int]:
+    """Global row range ``[lo, hi)`` of one contiguous shard."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard_index {shard_index} outside [0, {shard_count})")
+    lo = shard_index * num_rows // shard_count
+    hi = (shard_index + 1) * num_rows // shard_count
+    return lo, hi
+
+
+def _charged_slices(rows: list[tuple], lo: int, hi: int, per_block: int,
+                    ctx: ExecutionContext, category: str = "scan"
+                    ) -> Iterator[RowBatch]:
+    """Batches of ``rows[lo:hi]``, charging blocks as the cursor advances."""
+    charger = BlockCharger(ctx.io, per_block, category)
+    batch_size = ctx.batch_size
+    for start in range(lo, hi, batch_size):
+        end = min(start + batch_size, hi)
+        charger.charge_range(start, end)
+        yield RowBatch(rows[start:end])
+
+
 class TableScan(Operator):
-    """Full scan of a materialised table (blocks charged progressively)."""
+    """Full scan of a materialised table, optionally one shard of it.
+
+    ``shard_count``/``shard_index`` select a contiguous partition of the
+    stored rows; the default ``(1, 0)`` spec scans everything.
+    """
 
     name = "TableScan"
 
-    def __init__(self, table: Table) -> None:
+    def __init__(self, table: Table, shard_count: int = 1,
+                 shard_index: int = 0) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(f"shard_index {shard_index} outside [0, {shard_count})")
         super().__init__(table.schema, table.clustering_order)
         self.table = table
+        self.shard_count = shard_count
+        self.shard_index = shard_index
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        return ctx.charged_stream(self.table.rows, self.schema.row_bytes)
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        rows = self.table.rows
+        lo, hi = shard_bounds(len(rows), self.shard_count, self.shard_index)
+        per_block = ctx.rows_per_block(self.schema.row_bytes)
+        return _charged_slices(rows, lo, hi, per_block, ctx)
 
     def details(self) -> str:
+        if self.shard_count > 1:
+            return f"{self.table.name} shard {self.shard_index}/{self.shard_count}"
         return self.table.name
+
+
+class ShardedScan(TableScan):
+    """One shard of a table scan — explicit name for explain output.
+
+    Semantically identical to ``TableScan(table, shard_count, shard_index)``;
+    :func:`~repro.engine.exchange.shard_scans` builds these and fans them
+    back together with an ExchangeUnion.
+    """
+
+    name = "ShardedScan"
+
+    def __init__(self, table: Table, shard_count: int, shard_index: int) -> None:
+        if shard_count < 2:
+            raise ValueError("ShardedScan needs shard_count >= 2; "
+                             "use TableScan for an unsharded scan")
+        super().__init__(table, shard_count, shard_index)
 
 
 class ClusteringIndexScan(Operator):
@@ -50,8 +122,10 @@ class ClusteringIndexScan(Operator):
         super().__init__(table.schema, table.clustering_order)
         self.table = table
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        return ctx.charged_stream(self.table.rows, self.schema.row_bytes)
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        rows = self.table.rows
+        per_block = ctx.rows_per_block(self.schema.row_bytes)
+        return _charged_slices(rows, 0, len(rows), per_block, ctx)
 
     def details(self) -> str:
         return f"{self.table.name} via {self.output_order}"
@@ -72,21 +146,14 @@ class CoveringIndexScan(Operator):
         self._entry_bytes = index.entry_bytes()
         self._leaf_rows: Optional[list[tuple]] = None
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         if self._leaf_rows is None:
             # Leaf image is built once per plan object; building it is a
             # catalog operation, not a per-execution cost.
             self._leaf_rows = self.index.scan_rows()
         per_block = max(1, ctx.params.block_size // self._entry_bytes)
-        rows = self._leaf_rows
-
-        def stream() -> Iterator[tuple]:
-            for i, row in enumerate(rows):
-                if i % per_block == 0:
-                    ctx.io.read(1, category="scan")
-                yield row
-
-        return stream()
+        return _charged_slices(self._leaf_rows, 0, len(self._leaf_rows),
+                               per_block, ctx)
 
     def details(self) -> str:
         inc = f" include {list(self.index.included)}" if self.index.included else ""
@@ -105,10 +172,12 @@ class RowSource(Operator):
         self.rows_data = rows
         self.charge_io = charge_io
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         if self.charge_io:
-            return ctx.charged_stream(self.rows_data, self.schema.row_bytes)
-        return iter(self.rows_data)
+            per_block = ctx.rows_per_block(self.schema.row_bytes)
+            return _charged_slices(self.rows_data, 0, len(self.rows_data),
+                                   per_block, ctx)
+        return batches_of(self.rows_data, ctx.batch_size)
 
     def details(self) -> str:
         return f"{len(self.rows_data)} rows"

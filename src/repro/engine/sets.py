@@ -1,4 +1,5 @@
-"""Set operators: merge union, union-all, duplicate elimination.
+"""Set operators: merge union, union-all, duplicate elimination —
+batch-vectorized.
 
 Merge union is the paper's second example (after merge join) of an
 operator requiring *the same* sort order from multiple inputs — SYS2's
@@ -11,8 +12,15 @@ from __future__ import annotations
 from typing import Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
+from .batch import RowBatch, batches_of, flatten_batches
 from .context import ExecutionContext
-from .iterators import Operator, key_function, null_safe_wrap
+from .iterators import (
+    Operator,
+    assert_sorted_batches,
+    assert_sorted_rows,
+    key_function,
+    null_safe_wrap,
+)
 
 
 def _check_compatible(left: Operator, right: Operator, what: str) -> None:
@@ -30,9 +38,9 @@ class UnionAll(Operator):
         _check_compatible(left, right, "UnionAll")
         super().__init__(left.schema, EMPTY_ORDER, [left, right])
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         for child in self.children:
-            yield from child.execute(ctx)
+            yield from child.execute_batches(ctx)
 
 
 class MergeUnion(Operator):
@@ -53,19 +61,18 @@ class MergeUnion(Operator):
                 f"columns {left.schema.names}")
         super().__init__(left.schema, order, [left, right])
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         left, right = self.children
         lkey = key_function(left.schema, self.output_order)
         rkey = key_function(right.schema.rename(
             dict(zip(right.schema.names, left.schema.names))), self.output_order)
 
-        lrows = left.execute(ctx)
-        rrows = right.execute(ctx)
+        lrows = flatten_batches(left.execute_batches(ctx))
+        rrows = flatten_batches(right.execute_batches(ctx))
         if ctx.check_orders:
             lpos = left.schema.positions(list(self.output_order))
-            from .joins import _check_sorted_stream
-            lrows = _check_sorted_stream(lrows, lpos, "MergeUnion left")
-            rrows = _check_sorted_stream(rrows, lpos, "MergeUnion right")
+            lrows = assert_sorted_rows(lrows, lpos, "MergeUnion left")
+            rrows = assert_sorted_rows(rrows, lpos, "MergeUnion right")
 
         def stream() -> Iterator[tuple]:
             DONE = object()
@@ -84,7 +91,7 @@ class MergeUnion(Operator):
                     yield row
                     last_key = key
 
-        return stream()
+        return batches_of(stream(), ctx.batch_size)
 
     def details(self) -> str:
         return f"on {self.output_order}"
@@ -100,22 +107,26 @@ class Dedup(Operator):
             raise ValueError("Dedup order must cover every column")
         super().__init__(child.schema, order, [child])
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         key_fn = key_function(self.schema, self.output_order)
-        rows = self.children[0].execute(ctx)
+        batches = self.children[0].execute_batches(ctx)
         if ctx.check_orders:
             positions = self.schema.positions(list(self.output_order))
-            from .joins import _check_sorted_stream
-            rows = _check_sorted_stream(rows, positions, "Dedup input")
+            batches = assert_sorted_batches(batches, positions, "Dedup input")
 
-        def stream() -> Iterator[tuple]:
+        def stream() -> Iterator[RowBatch]:
             last: Optional[tuple] = None
-            for row in rows:
-                key = key_fn(row)
-                ctx.comparisons.add()
-                if key != last:
-                    yield row
-                    last = key
+            counter = ctx.comparisons
+            for batch in batches:
+                kept: list[tuple] = []
+                for row in batch.rows:
+                    key = key_fn(row)
+                    counter.add()
+                    if key != last:
+                        kept.append(row)
+                        last = key
+                if kept:
+                    yield RowBatch(kept)
 
         return stream()
 
@@ -131,16 +142,17 @@ class HashDedup(Operator):
     def __init__(self, child: Operator) -> None:
         super().__init__(child.schema, EMPTY_ORDER, [child])
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         seen: set[tuple] = set()
         distinct: list[tuple] = []
-        for row in self.children[0].execute(ctx):
-            if row not in seen:
-                seen.add(row)
-                distinct.append(row)
+        for batch in self.children[0].execute_batches(ctx):
+            for row in batch.rows:
+                if row not in seen:
+                    seen.add(row)
+                    distinct.append(row)
         if len(distinct) * self.schema.row_bytes > ctx.params.sort_memory_bytes:
             ctx.charge_blocks_for_rows(len(distinct), self.schema.row_bytes,
                                        direction="write", category="partition")
             ctx.charge_blocks_for_rows(len(distinct), self.schema.row_bytes,
                                        direction="read", category="partition")
-        return iter(distinct)
+        return batches_of(distinct, ctx.batch_size)

@@ -13,6 +13,7 @@ from .algebra import (
     Project,
     Select,
     Union,
+    referenced_tables,
 )
 from .builder import Query
 from .fds import FDSet, query_fds
@@ -36,4 +37,5 @@ __all__ = [
     "canonical_text",
     "logical_fingerprint",
     "query_fds",
+    "referenced_tables",
 ]

@@ -181,6 +181,17 @@ class Limit(LogicalExpr):
         return f"Limit({self.k})"
 
 
+def referenced_tables(expr: LogicalExpr) -> frozenset[str]:
+    """Names of every base table the expression reads.
+
+    The serving layer keys cached plans on the statistics versions of
+    exactly these tables, so a stats refresh on an unrelated table never
+    evicts a plan that does not depend on it.
+    """
+    return frozenset(node.table_name for node in expr.walk()
+                     if isinstance(node, BaseRelation))
+
+
 class Annotator:
     """Derives schemas, statistics, equivalences and per-table used
     attributes for a whole query, with per-node caching."""

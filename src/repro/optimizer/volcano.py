@@ -172,11 +172,27 @@ class OptimizationRun:
         self.cost_model = CostModel(catalog.params, self.eq)
         self.order_ctx = OrderContext(self.favorable, self.fds, self.eq)
         self._memo: dict[tuple[LogicalExpr, tuple[str, ...]], PhysicalPlan] = {}
-        #: Subgoals optimized — the optimization-effort metric of Fig. 16.
+        #: Failure memo (Columbia's re-search discipline): goal → largest
+        #: budget known infeasible.  ``_failed[key] = L`` is the *exact*
+        #: statement "no plan of this goal costs < L": a bounded search
+        #: only ever discards candidates costing ≥ its budget, so a
+        #: fruitless search at budget L proves it.  Requests at limits
+        #: ≤ L are answered ``None`` instantly; a larger budget triggers
+        #: a genuine re-search.
+        self._failed: dict[tuple[LogicalExpr, tuple[str, ...]], float] = {}
+        #: *Distinct* subgoals optimized — the optimization-effort metric
+        #: of Fig. 16.  A re-search of a failure-memoised goal at a larger
+        #: budget counts in :attr:`goals_researched`, not here.
         self.goals_examined = 0
         #: Subgoals skipped because their cost budget was already exhausted
-        #: (cost-bounded search; see :meth:`optimize_goal`).
+        #: (budget ≤ 0 or failure-memo hit; see :meth:`optimize_goal`).
         self.goals_pruned = 0
+        #: Subgoals answered from the failure memo without a search.
+        self.failure_memo_hits = 0
+        #: Bounded searches that came up empty (failure memo entries made).
+        self.goals_failed = 0
+        #: Re-searches of previously failed goals at larger budgets.
+        self.goals_researched = 0
 
     # -- goal optimization -------------------------------------------------------------
     def optimize_goal(self, expr: LogicalExpr, required: SortOrder,
@@ -184,12 +200,23 @@ class OptimizationRun:
         """Cheapest plan for *expr* guaranteeing *required*.
 
         *limit* is the branch-and-bound budget handed down by the parent
-        goal: when it is already ≤ 0 no plan of this goal can make the
-        enclosing candidate competitive (all costs are non-negative), so
-        the search is skipped entirely and ``None`` is returned.  Memo
-        entries are always exact optima — a goal that *is* searched is
-        searched to completion, so pruning never changes chosen plans,
-        only the number of goals examined.
+        goal.  Three ways to skip the search entirely:
+
+        * a memo hit (exact optimum from an earlier search);
+        * a budget that is already ≤ 0 — no plan can make the enclosing
+          candidate competitive (all costs are non-negative);
+        * a failure-memo hit: an earlier *bounded* search at budget
+          ``L ≥ limit`` found nothing, proving no plan costs < limit.
+
+        Otherwise the goal is searched with the budget as the initial
+        branch-and-bound upper bound.  A search that finds a plan found
+        the *exact* optimum (only candidates costing ≥ the shrinking
+        bound are ever discarded) and memoises it; a bounded search that
+        finds nothing records the exact infeasibility fact
+        ``no plan < limit`` in the failure memo and returns ``None`` —
+        a later request with a larger budget re-searches (Columbia's
+        re-search discipline).  Either way pruning never changes chosen
+        plans, only the number of goals examined.
         """
         required = self.fds.reduce_order(required)
         key = (expr, tuple(self.eq.canonical(a) for a in required))
@@ -199,9 +226,17 @@ class OptimizationRun:
         if limit <= 0.0:
             self.goals_pruned += 1
             return None
-        self.goals_examined += 1
+        failed_at = self._failed.get(key)
+        if failed_at is not None and limit <= failed_at:
+            self.goals_pruned += 1
+            self.failure_memo_hits += 1
+            return None
+        if failed_at is not None:
+            self.goals_researched += 1
+        else:
+            self.goals_examined += 1
 
-        bound = _Bound()
+        bound = _Bound(limit if self.config.cost_bound_pruning else math.inf)
         best: Optional[PhysicalPlan] = None
         for candidate in self._native_candidates(expr, required, bound):
             plan = self.enforce(candidate, required, limit=bound.value)
@@ -212,9 +247,17 @@ class OptimizationRun:
                 if self.config.cost_bound_pruning:
                     bound.value = best.total_cost
         if best is None:
-            raise RuntimeError(
-                f"no plan for {expr.label()} with required order {required}")
+            if math.isinf(limit):
+                raise RuntimeError(
+                    f"no plan for {expr.label()} with required order {required}")
+            # Exact failure fact: every candidate was discarded against a
+            # bound that never dropped below *limit*, so no plan of this
+            # goal costs < limit.
+            self._failed[key] = max(failed_at or 0.0, limit)
+            self.goals_failed += 1
+            return None
         self._memo[key] = best
+        self._failed.pop(key, None)  # success supersedes any failure marker
         return best
 
     # -- enforcers ------------------------------------------------------------------------

@@ -1,26 +1,35 @@
-"""The plan cache: fingerprint-keyed, stats-versioned, LRU-bounded.
+"""The plan cache: fingerprint-keyed, version-tokened, LRU-bounded,
+optionally TTL-expired.
 
 Production optimizers are rarely the latency bottleneck because they are
 rarely *run*: repeated and parameterized queries are served from a plan
 cache.  This module supplies that cache for the PYRO optimizer.
 
-A cached plan is valid for exactly one *catalog statistics version*
-(:attr:`repro.storage.catalog.Catalog.stats_version`): any statistics
-refresh, new table or new index bumps the version and silently
-invalidates every cached plan on its next lookup — a plan chosen for
-yesterday's data distribution must not serve today's.
+A cached plan is valid for exactly one *version token*.  The serving
+layer passes the per-table version tuple from
+:meth:`repro.storage.catalog.Catalog.table_versions` — the statistics
+and index-registration versions of **only the tables the plan reads** —
+so a statistics refresh or new index invalidates exactly the plans that
+depend on it and leaves everything else cached.  (Any hashable token
+works; the cache compares by equality and stays free of catalog
+imports.)
 
-The cache is deliberately dumb about queries: the key is the canonical
-logical fingerprint (see :mod:`repro.logical.fingerprint`) plus the
-required order, computed by the caller.  That keeps this module free of
-optimizer imports and trivially testable.
+Admission policy:
+
+* **LRU capacity** — the least-recently-used entry is evicted when the
+  cache exceeds ``capacity`` (counted in ``stats.evictions``);
+* **TTL** — with ``ttl_seconds`` set, an entry older than the TTL is
+  dropped at lookup time (counted in ``stats.expirations``).  A TTL
+  bounds the lifetime of plans whose *data* changed without a stats
+  refresh — cheap insurance when auto-analyze is not wired up.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 PlanT = TypeVar("PlanT")
 
@@ -33,6 +42,7 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    expirations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -42,27 +52,42 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": self.hit_rate}
+
 
 @dataclass
 class _Entry(Generic[PlanT]):
     plan: PlanT
-    stats_version: int
+    stats_version: Hashable
+    created_at: float
     uses: int = 0
 
 
 class PlanCache(Generic[PlanT]):
-    """LRU cache of optimized plans keyed by query fingerprint.
+    """LRU+TTL cache of optimized plans keyed by query fingerprint.
 
-    ``get``/``put`` take the *current* catalog statistics version; an
-    entry cached under an older version is dropped at lookup time and
-    counted as an invalidation (which is also a miss — the caller must
-    re-optimize).
+    ``get``/``put`` take the *current* version token for the plan's
+    referenced tables; an entry cached under a different token is
+    dropped at lookup time and counted as an invalidation (which is also
+    a miss — the caller must re-optimize).  ``clock`` is injectable for
+    deterministic TTL tests.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(self, capacity: int = 128,
+                 ttl_seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
         self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
         self._entries: "OrderedDict[Hashable, _Entry[PlanT]]" = OrderedDict()
         self.stats = CacheStats()
 
@@ -72,9 +97,16 @@ class PlanCache(Generic[PlanT]):
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 
-    def get(self, key: Hashable, stats_version: int) -> Optional[PlanT]:
+    def get(self, key: Hashable, stats_version: Hashable) -> Optional[PlanT]:
         entry = self._entries.get(key)
         if entry is None:
+            self.stats.misses += 1
+            return None
+        if self.ttl_seconds is not None and \
+                self._clock() - entry.created_at >= self.ttl_seconds:
+            # Too old to trust, whatever the catalog says.
+            del self._entries[key]
+            self.stats.expirations += 1
             self.stats.misses += 1
             return None
         if entry.stats_version != stats_version:
@@ -88,10 +120,10 @@ class PlanCache(Generic[PlanT]):
         self.stats.hits += 1
         return entry.plan
 
-    def put(self, key: Hashable, plan: PlanT, stats_version: int) -> None:
+    def put(self, key: Hashable, plan: PlanT, stats_version: Hashable) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = _Entry(plan, stats_version)
+        self._entries[key] = _Entry(plan, stats_version, self._clock())
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

@@ -15,9 +15,16 @@ never depend on literal values, so the plan is bind-independent by
 construction, and binding is a pure plan-tree substitution — the
 optimizer is not consulted again.
 
-Statistics refreshes (``catalog.refresh_stats(...)``), new tables and
-new indexes bump the catalog's ``stats_version``; the next lookup sees
-the version mismatch, drops the stale plan and re-optimizes.
+Cached plans are keyed on the versions of **only the tables they
+reference** (:meth:`repro.storage.catalog.Catalog.table_versions`):
+``refresh_stats("orders")`` or a new index on ``orders`` invalidates
+exactly the plans that read ``orders`` and leaves the rest of the cache
+hot.
+
+Execution is batch-vectorized: ``execute`` accepts a ``batch_size``
+(rows per :class:`~repro.engine.batch.RowBatch`) and a ``parallelism``
+knob that fans full table scans out into contiguous shards driven
+through the :class:`~repro.engine.executor.BatchedExecutor`.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Union as TUnion
 
 from ..engine.context import ExecutionContext
+from ..engine.executor import BatchedExecutor
 from ..expr.aggregates import AggSpec
 from ..expr.expressions import (
     And,
@@ -37,7 +45,7 @@ from ..expr.expressions import (
     Or,
     Param,
 )
-from ..logical.algebra import LogicalExpr
+from ..logical.algebra import LogicalExpr, referenced_tables
 from ..logical.builder import Query
 from ..logical.fingerprint import logical_fingerprint
 from ..core.sort_order import SortOrder
@@ -159,12 +167,13 @@ class PreparedQuery:
 
     def __init__(self, session: "QuerySession", plan: PhysicalPlan,
                  fingerprint: str, required: SortOrder,
-                 from_cache: bool) -> None:
+                 from_cache: bool, tables: frozenset[str] = frozenset()) -> None:
         self.session = session
         self.plan = plan
         self.fingerprint = fingerprint
         self.required_order = required
         self.from_cache = from_cache
+        self.tables = tables
         self.param_names = plan_params(plan)
 
     @property
@@ -187,11 +196,22 @@ class PreparedQuery:
         return bind_plan(self.plan, binds)
 
     def execute(self, ctx: Optional[ExecutionContext] = None,
-                **binds: Any) -> list[tuple]:
+                parallelism: int = 1, batch_size: Optional[int] = None,
+                use_threads: bool = False, **binds: Any) -> list[tuple]:
+        """Run the plan on the batched engine.
+
+        ``parallelism`` shards every full table scan into that many
+        contiguous partitions gathered by an ExchangeUnion;
+        ``batch_size`` sets the rows-per-batch of a context created
+        here (ignored when *ctx* is supplied).
+        """
         plan = self.bind(**binds)
         self.session.metrics.executions += 1
-        ctx = ctx or ExecutionContext(self.session.catalog)
-        return list(plan.to_operator(self.session.catalog).execute(ctx))
+        ctx = ctx or ExecutionContext(self.session.catalog,
+                                      batch_size=batch_size)
+        executor = BatchedExecutor(parallelism=parallelism,
+                                   use_threads=use_threads)
+        return executor.run(plan.to_operator(self.session.catalog), ctx)
 
 
 class QuerySession:
@@ -204,10 +224,12 @@ class QuerySession:
 
     def __init__(self, catalog: Catalog, strategy: str = "pyro-o",
                  config: Optional[OptimizerConfig] = None,
-                 cache_capacity: int = 128, **overrides: Any) -> None:
+                 cache_capacity: int = 128,
+                 cache_ttl: Optional[float] = None, **overrides: Any) -> None:
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, strategy, config, **overrides)
-        self.cache: PlanCache[PhysicalPlan] = PlanCache(cache_capacity)
+        self.cache: PlanCache[PhysicalPlan] = PlanCache(
+            cache_capacity, ttl_seconds=cache_ttl)
         self.metrics = SessionMetrics()
 
     # -- public API ------------------------------------------------------------------
@@ -218,24 +240,32 @@ class QuerySession:
         # key always describes exactly the tree that gets planned.
         expr, required = split_required_order(query, required_order)
         fp = logical_fingerprint(expr, required)
-        version = self.catalog.stats_version
+        tables = referenced_tables(expr)
+        # Per-table invalidation: the token covers only the tables this
+        # query reads, so refreshes elsewhere leave the entry valid.
+        version = self.catalog.table_versions(tables)
         self.metrics.prepares += 1
         plan = self.cache.get(fp, version)
         if plan is not None:
-            return PreparedQuery(self, plan, fp, required, from_cache=True)
+            return PreparedQuery(self, plan, fp, required, from_cache=True,
+                                 tables=tables)
         start = time.perf_counter()
         plan = self.optimizer.optimize(expr, required)
         self.metrics.optimize_seconds += time.perf_counter() - start
         self.metrics.optimizations += 1
         self.cache.put(fp, plan, version)
-        return PreparedQuery(self, plan, fp, required, from_cache=False)
+        return PreparedQuery(self, plan, fp, required, from_cache=False,
+                             tables=tables)
 
     def execute(self, query: TUnion[Query, LogicalExpr],
                 required_order: Optional[SortOrder] = None,
                 ctx: Optional[ExecutionContext] = None,
-                **binds: Any) -> list[tuple]:
+                parallelism: int = 1, batch_size: Optional[int] = None,
+                use_threads: bool = False, **binds: Any) -> list[tuple]:
         """Prepare (served from cache when possible) and execute."""
-        return self.prepare(query, required_order).execute(ctx, **binds)
+        return self.prepare(query, required_order).execute(
+            ctx, parallelism=parallelism, batch_size=batch_size,
+            use_threads=use_threads, **binds)
 
     def explain(self, query: TUnion[Query, LogicalExpr],
                 required_order: Optional[SortOrder] = None) -> str:
@@ -248,3 +278,21 @@ class QuerySession:
     def invalidate_plans(self) -> int:
         """Manually drop every cached plan (bulk loads, DDL scripts)."""
         return self.cache.invalidate_all()
+
+    def stats(self) -> dict[str, Any]:
+        """Serving-side observability: session counters + cache counters.
+
+        Flat, JSON-friendly dict — what a /metrics endpoint would expose.
+        """
+        out: dict[str, Any] = {
+            "prepares": self.metrics.prepares,
+            "optimizations": self.metrics.optimizations,
+            "executions": self.metrics.executions,
+            "optimize_seconds": self.metrics.optimize_seconds,
+            "cache_size": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "cache_ttl_seconds": self.cache.ttl_seconds,
+        }
+        for name, value in self.cache.stats.as_dict().items():
+            out[f"cache_{name}"] = value
+        return out

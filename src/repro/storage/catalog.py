@@ -49,6 +49,10 @@ class Catalog:
         #: Bumped on every registration (tables/indexes) — part of the
         #: catalog-wide statistics version below.
         self._registry_version = 0
+        #: Per-table registration bumps (index additions): part of each
+        #: table's :meth:`table_version`, so plans referencing the table
+        #: are invalidated without evicting plans over other tables.
+        self._table_registry: dict[str, int] = {}
 
     # -- statistics versioning ---------------------------------------------------------
     @property
@@ -65,12 +69,30 @@ class Catalog:
         catalog :attr:`stats_version` so cached plans are invalidated."""
         return self.table(table_name).update_stats(stats)
 
+    def table_version(self, table_name: str) -> int:
+        """Monotonic version of everything a plan depends on *for one
+        table*: its statistics version plus its index registrations."""
+        return (self.table(table_name).stats_version
+                + self._table_registry.get(table_name, 0))
+
+    def table_versions(self, table_names: Iterable[str]
+                       ) -> tuple[tuple[str, int], ...]:
+        """Canonical version token for a set of referenced tables.
+
+        The serving layer keys cached plans on this token so that
+        ``refresh_stats("orders")`` invalidates only plans that actually
+        read ``orders`` (per-table invalidation granularity).
+        """
+        return tuple(sorted((name, self.table_version(name))
+                            for name in set(table_names)))
+
     # -- registration ----------------------------------------------------------------
     def add_table(self, table: Table) -> Table:
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already registered")
         self._tables[table.name] = table
         self._by_table.setdefault(table.name, [])
+        self._table_registry.setdefault(table.name, 0)
         self._registry_version += 1
         return table
 
@@ -95,6 +117,8 @@ class Catalog:
             raise ValueError(f"index {index.name!r} references unregistered table")
         self._indexes[index.name] = index
         self._by_table[index.table.name].append(index)
+        self._table_registry[index.table.name] = \
+            self._table_registry.get(index.table.name, 0) + 1
         self._registry_version += 1
         return index
 

@@ -1,0 +1,163 @@
+"""Plan-cache admission policy (LRU + TTL), per-table invalidation
+granularity, and session-level observability via QuerySession.stats()."""
+
+import pytest
+
+from repro.core.sort_order import SortOrder
+from repro.expr import col
+from repro.logical import Query, referenced_tables
+from repro.service import PlanCache, QuerySession
+from repro.storage import Catalog, Schema, TableStats
+
+
+def make_catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table(
+        "orders", Schema.of(("o_id", "int", 8), ("o_cust", "int", 8)),
+        stats=TableStats(100_000, {"o_id": 100_000, "o_cust": 5_000}),
+        clustering_order=SortOrder(["o_id"]))
+    cat.create_table(
+        "customers", Schema.of(("c_id", "int", 8), ("c_region", "int", 8)),
+        stats=TableStats(5_000, {"c_id": 5_000, "c_region": 10}),
+        clustering_order=SortOrder(["c_id"]))
+    cat.create_table(
+        "items", Schema.of(("i_id", "int", 8), ("i_price", "int", 8)),
+        stats=TableStats(50_000, {"i_id": 50_000, "i_price": 900}))
+    return cat
+
+
+def orders_query():
+    return Query.table("orders").where(col("o_cust").lt(100)).order_by("o_id")
+
+
+def items_query():
+    return Query.table("items").order_by("i_id")
+
+
+# -- TTL ---------------------------------------------------------------------------------
+class TestTTL:
+    def test_entries_expire(self):
+        now = [0.0]
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", "plan", stats_version=1)
+        assert cache.get("k", 1) == "plan"
+        now[0] = 9.9
+        assert cache.get("k", 1) == "plan"
+        now[0] = 10.0
+        assert cache.get("k", 1) is None
+        assert cache.stats.expirations == 1
+        assert "k" not in cache
+
+    def test_put_refreshes_age(self):
+        now = [0.0]
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", "old", 1)
+        now[0] = 8.0
+        cache.put("k", "new", 1)
+        now[0] = 15.0
+        assert cache.get("k", 1) == "new"
+
+    def test_no_ttl_never_expires(self):
+        now = [0.0]
+        cache = PlanCache(capacity=4, clock=lambda: now[0])
+        cache.put("k", "plan", 1)
+        now[0] = 1e9
+        assert cache.get("k", 1) == "plan"
+        assert cache.stats.expirations == 0
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(ttl_seconds=0)
+
+    def test_session_ttl_forces_reoptimization(self):
+        now = [0.0]
+        session = QuerySession(make_catalog(), cache_ttl=30.0)
+        session.cache._clock = lambda: now[0]
+        session.prepare(orders_query())
+        assert session.prepare(orders_query()).from_cache
+        now[0] = 31.0
+        assert not session.prepare(orders_query()).from_cache
+        assert session.stats()["cache_expirations"] == 1
+        assert session.metrics.optimizations == 2
+
+
+# -- per-table invalidation --------------------------------------------------------------
+class TestPerTableInvalidation:
+    def test_referenced_tables(self):
+        q = (Query.table("orders")
+             .join("customers", on=[("o_cust", "c_id")])
+             .order_by("o_id"))
+        assert referenced_tables(q.expr) == frozenset({"orders", "customers"})
+
+    def test_unrelated_refresh_keeps_plan(self):
+        cat = make_catalog()
+        session = QuerySession(cat)
+        session.prepare(orders_query())
+        session.prepare(items_query())
+        cat.refresh_stats("customers", TableStats(9_000, {"c_id": 9_000,
+                                                          "c_region": 12}))
+        # Neither cached plan reads customers: both still served hot.
+        assert session.prepare(orders_query()).from_cache
+        assert session.prepare(items_query()).from_cache
+        assert session.cache.stats.invalidations == 0
+
+    def test_targeted_refresh_evicts_only_readers(self):
+        cat = make_catalog()
+        session = QuerySession(cat)
+        session.prepare(orders_query())
+        session.prepare(items_query())
+        cat.refresh_stats("orders", TableStats(200_000, {"o_id": 200_000,
+                                                         "o_cust": 5_000}))
+        assert not session.prepare(orders_query()).from_cache
+        assert session.prepare(items_query()).from_cache
+        assert session.cache.stats.invalidations == 1
+
+    def test_new_index_evicts_only_that_tables_plans(self):
+        cat = make_catalog()
+        session = QuerySession(cat)
+        session.prepare(orders_query())
+        session.prepare(items_query())
+        cat.create_index("items_id", "items", SortOrder(["i_id"]),
+                         included=["i_price"])
+        assert session.prepare(orders_query()).from_cache
+        assert not session.prepare(items_query()).from_cache
+
+    def test_new_unrelated_table_keeps_all_plans(self):
+        cat = make_catalog()
+        session = QuerySession(cat)
+        session.prepare(orders_query())
+        cat.create_table("audit", Schema.of(("a_id", "int", 8)),
+                         stats=TableStats(10, {"a_id": 10}))
+        assert session.prepare(orders_query()).from_cache
+
+    def test_join_plan_invalidated_by_either_side(self):
+        cat = make_catalog()
+        session = QuerySession(cat)
+        join = (Query.table("orders")
+                .join("customers", on=[("o_cust", "c_id")])
+                .order_by("o_id"))
+        session.prepare(join)
+        cat.refresh_stats("customers", TableStats(6_000, {"c_id": 6_000,
+                                                          "c_region": 10}))
+        assert not session.prepare(join).from_cache
+
+
+# -- observability -----------------------------------------------------------------------
+class TestSessionStats:
+    def test_stats_surface_all_counters(self):
+        session = QuerySession(make_catalog(), cache_capacity=1)
+        session.prepare(orders_query())
+        session.prepare(orders_query())
+        session.prepare(items_query())  # evicts the orders plan (capacity 1)
+        session.prepare(orders_query())  # miss again
+        stats = session.stats()
+        assert stats["prepares"] == 4
+        assert stats["optimizations"] == 3
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 3
+        assert stats["cache_evictions"] == 2
+        assert stats["cache_size"] == 1
+        assert stats["cache_capacity"] == 1
+        assert stats["cache_ttl_seconds"] is None
+        assert 0.0 < stats["cache_hit_rate"] < 1.0
+        assert stats["optimize_seconds"] > 0.0

@@ -131,6 +131,86 @@ class TestBranchAndBound:
             assert run.goals_pruned == 0, name
 
 
+class TestFailureMemo:
+    """The *first* search of a goal is bounded too; fruitless bounded
+    searches leave an exact budget-infeasible marker (Columbia's
+    re-search discipline) instead of being repeated."""
+
+    @pytest.fixture
+    def run_and_goal(self):
+        cat = Catalog()
+        cat.create_table(
+            "r", Schema.of(("a", "int", 8), ("b", "int", 8)),
+            stats=TableStats(500_000, {"a": 50, "b": 5000}),
+            clustering_order=SortOrder(["a"]))
+        expr = Query.table("r").expr
+        run = OptimizationRun(cat, expr, make_strategy("pyro-o")[0],
+                              OptimizerConfig())
+        return run, expr
+
+    def test_bounded_first_search_fails_and_memoizes(self, run_and_goal):
+        run, expr = run_and_goal
+        required = SortOrder(["b"])
+        # Budget far below any feasible plan: the bounded search fails...
+        assert run.optimize_goal(expr, required, limit=1.0) is None
+        assert run.goals_failed == 1
+        assert run.goals_examined == 1
+        # ...and the second request at no-larger budget is a memo hit.
+        assert run.optimize_goal(expr, required, limit=1.0) is None
+        assert run.failure_memo_hits == 1
+        assert run.goals_examined == 1  # no second search
+
+    def test_larger_budget_triggers_research(self, run_and_goal):
+        run, expr = run_and_goal
+        required = SortOrder(["b"])
+        assert run.optimize_goal(expr, required, limit=1.0) is None
+        plan = run.optimize_goal(expr, required, limit=math.inf)
+        assert plan is not None
+        assert run.goals_researched == 1
+        assert run.goals_examined == 1  # distinct-goal metric unchanged
+        # Success supersedes the failure marker: exact memo from now on.
+        assert run.optimize_goal(expr, required, limit=0.5) is plan
+
+    def test_memo_entries_stay_exact(self, run_and_goal):
+        """A plan found under a finite budget is the true optimum."""
+        run, expr = run_and_goal
+        required = SortOrder(["b"])
+        unbounded = OptimizationRun(run.catalog, expr,
+                                    make_strategy("pyro-o")[0],
+                                    OptimizerConfig(cost_bound_pruning=False))
+        exact = unbounded.optimize_goal(expr, required)
+        bounded = run.optimize_goal(expr, required,
+                                    limit=exact.total_cost + 1.0)
+        assert bounded is not None
+        assert bounded.total_cost == exact.total_cost
+        assert bounded.signature() == exact.signature()
+
+    def test_failure_threshold_is_tight(self, run_and_goal):
+        """Failing at budget L must prove only `no plan < L`: a budget
+        just above the optimum must succeed after a failure just below."""
+        run, expr = run_and_goal
+        required = SortOrder(["b"])
+        probe = OptimizationRun(run.catalog, expr, make_strategy("pyro-o")[0],
+                                OptimizerConfig(cost_bound_pruning=False))
+        optimum = probe.optimize_goal(expr, required).total_cost
+        assert run.optimize_goal(expr, required, limit=optimum * 0.5) is None
+        plan = run.optimize_goal(expr, required, limit=optimum + 1.0)
+        assert plan is not None and plan.total_cost == optimum
+
+    def test_bench_queries_unchanged_by_failure_memo(self):
+        """End-to-end invariant: deepened pruning still returns the same
+        plan as exhaustive search on every bench query (and records its
+        extra effort in the re-search counters, not goals_examined)."""
+        for name, cat, query in bench_cases():
+            pruned_plan, pruned_run = _run_goal(cat, query, "pyro-o", True)
+            exact_plan, exact_run = _run_goal(cat, query, "pyro-o", False)
+            assert pruned_plan.signature() == exact_plan.signature(), name
+            assert pruned_plan.total_cost == pytest.approx(
+                exact_plan.total_cost, rel=1e-12), name
+            assert exact_run.goals_failed == 0, name
+            assert exact_run.goals_researched == 0, name
+
+
 class TestStrategyFlagRegression:
     """`Optimizer.__init__` must honour the registry's partial flag and
     must not mutate a caller-supplied config."""
