@@ -11,6 +11,13 @@ row-at-a-time (``batch_size=1``) on the large synthetic workload, plus
 sharded-scan execution through the BatchedExecutor.  Simulated costs
 are asserted identical; only wall-clock changes.
 
+Part 3 — shard-aware order enforcement: one post-union full sort above
+the exchange vs per-shard sorts under an order-preserving MergeExchange,
+across parallelism 1/2/4.  Sized so the post-union sort spills while the
+individual shards fit in sort memory — the regime the enforcer pushdown
+targets — and gated on *simulated cost units* (deterministic) by
+``check_regression.py``.
+
 Two modes:
 
 * ``pytest benchmarks/bench_scalability.py`` — full run with the shared
@@ -37,7 +44,8 @@ from repro.engine import (
 from repro.expr import col
 from repro.logical import Query
 from repro.optimizer import Optimizer
-from repro.storage import Catalog, Schema, TableStats
+from repro.service import QuerySession
+from repro.storage import Catalog, Schema, SystemParameters, TableStats
 from repro.workloads import segmented_catalog
 
 MAX_ATTRS = 10
@@ -224,6 +232,86 @@ def test_fig16_goal_counts(benchmark, results_sink):
         title="Figure 16 (cause) — subgoals examined at 5 join attributes"))
 
 
+# -- shard-aware order enforcement -------------------------------------------------------
+def run_shard_enforcer_benchmark(num_rows: int = 30_000,
+                                 parallelisms: tuple = (1, 2, 4)) -> dict:
+    """Post-union full sort vs per-shard sort + MergeExchange.
+
+    The catalog is sized so the full ORDER BY c2 sort spills (B > M)
+    while half and quarter shards fit in sort memory — per-shard
+    enforcement then skips the run I/O entirely and the merge costs only
+    CPU.  Simulated cost units are deterministic; wall-clock is reported
+    but not gated.
+    """
+    # 200-byte rows: B ≈ num_rows/20 blocks.  Memory of B/2 blocks puts
+    # parallelism 2 and 4 in the in-memory regime and 1 in the spill one.
+    memory_blocks = max(4, num_rows // 40)
+    catalog = segmented_catalog(
+        num_rows, 100, params=SystemParameters(sort_memory_blocks=memory_blocks))
+    query = Query.table("r").order_by("c2")
+    sessions = {
+        "merge": QuerySession(catalog),
+        "post_union": QuerySession(catalog, shard_aware_enforcers=False),
+    }
+    results: dict = {"num_rows": num_rows}
+    reference = None
+    for parallelism in parallelisms:
+        for mode, session in sessions.items():
+            ctx = ExecutionContext(catalog)
+            start = time.perf_counter()
+            rows = session.execute(query, parallelism=parallelism, ctx=ctx)
+            seconds = time.perf_counter() - start
+            if reference is None:
+                reference = rows
+            assert rows == reference, (mode, parallelism)  # bit-identical
+            results[(mode, parallelism)] = {
+                "ms": seconds * 1000.0,
+                "cost_units": ctx.cost_units(),
+                "runs_created": ctx.sort_metrics.runs_created,
+            }
+    top = max(p for p in parallelisms if p > 1)
+    results["post_union_cost_units"] = results[("post_union", top)]["cost_units"]
+    results["shard_merge_cost_units"] = results[("merge", top)]["cost_units"]
+    results["shard_merge_advantage"] = (
+        results["post_union_cost_units"] / results["shard_merge_cost_units"])
+    return results
+
+
+SHARD_HEADERS = ["parallelism", "post-union cost", "merge cost",
+                 "post-union ms", "merge ms", "spilled runs (post/merge)"]
+
+
+def _shard_rows(result: dict, parallelisms=(1, 2, 4)) -> list:
+    rows = []
+    for p in parallelisms:
+        post, merge = result[("post_union", p)], result[("merge", p)]
+        rows.append([p, round(post["cost_units"], 1),
+                     round(merge["cost_units"], 1),
+                     round(post["ms"], 1), round(merge["ms"], 1),
+                     f"{post['runs_created']}/{merge['runs_created']}"])
+    return rows
+
+
+def test_shard_enforcers_beat_post_union(benchmark, results_sink):
+    result = benchmark.pedantic(run_shard_enforcer_benchmark,
+                                rounds=1, iterations=1)
+    results_sink(format_table(
+        SHARD_HEADERS, _shard_rows(result),
+        title="Shard-aware enforcers — post-union sort vs per-shard sort "
+              "+ merge exchange (large synthetic workload, ORDER BY c2)"))
+    benchmark.extra_info["shard_enforcers"] = {
+        k: v for k, v in result.items() if isinstance(k, str)}
+    # At parallelism 1 both modes are the same plan.
+    assert result[("merge", 1)]["cost_units"] == \
+        result[("post_union", 1)]["cost_units"]
+    # Sharded per-shard enforcement strictly beats the post-union sort.
+    for parallelism in (2, 4):
+        assert result[("merge", parallelism)]["cost_units"] < \
+            result[("post_union", parallelism)]["cost_units"], parallelism
+        assert result[("merge", parallelism)]["runs_created"] == 0
+    assert result["shard_merge_advantage"] > 1.5
+
+
 # -- standalone / CI smoke ---------------------------------------------------------------
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
@@ -234,6 +322,14 @@ def main(argv: list[str]) -> int:
     floor = 1.5 if smoke else 2.0  # smoke input is small; keep slack
     if result["speedup"] < floor:
         print(f"FAIL: batched speedup {result['speedup']:.2f}x < {floor}x")
+        return 1
+    shard = run_shard_enforcer_benchmark(10_000 if smoke else 30_000)
+    print(format_table(SHARD_HEADERS, _shard_rows(shard),
+                       title="Shard-aware enforcers — post-union sort vs "
+                             "per-shard sort + merge exchange"))
+    if shard["shard_merge_advantage"] <= 1.0:
+        print(f"FAIL: per-shard enforcement not cheaper "
+              f"(advantage {shard['shard_merge_advantage']:.2f}x)")
         return 1
     print("\nok")
     return 0

@@ -28,7 +28,7 @@ BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 sys.path.insert(0, str(BENCH_DIR))
 
 from bench_plan_cache import run_cache_benchmark, run_pruning_benchmark  # noqa: E402
-from bench_scalability import run_batch_speedup  # noqa: E402
+from bench_scalability import run_batch_speedup, run_shard_enforcer_benchmark  # noqa: E402
 
 
 def collect_metrics() -> dict[str, float]:
@@ -46,6 +46,14 @@ def collect_metrics() -> dict[str, float]:
     exec_result = run_batch_speedup(num_rows=30_000, repeats=2)
     metrics["batch_speedup"] = round(exec_result["speedup"], 3)
     metrics["scan_blocks_read"] = float(exec_result["blocks_read"])
+
+    # Shard-aware enforcement: simulated cost units are deterministic, so
+    # both absolute costs and the post-union/merge advantage gate tightly.
+    shard = run_shard_enforcer_benchmark(num_rows=10_000, parallelisms=(1, 4))
+    metrics["shard_merge_cost_units"] = round(shard["shard_merge_cost_units"], 3)
+    metrics["post_union_sort_cost_units"] = round(
+        shard["post_union_cost_units"], 3)
+    metrics["shard_merge_advantage"] = round(shard["shard_merge_advantage"], 3)
     return metrics
 
 
@@ -84,7 +92,8 @@ def write_baseline(metrics: dict[str, float]) -> None:
     """Re-baseline: deterministic metrics exact, wall-clock conservative."""
     specs = {}
     for name, value in metrics.items():
-        higher_is_better = name.startswith(("cache_hit_rate", "batch_speedup"))
+        higher_is_better = name.startswith(
+            ("cache_hit_rate", "batch_speedup", "shard_merge_advantage"))
         if name == "batch_speedup":
             # Wall-clock is the one noisy metric: pin its baseline so the
             # gate floor (value * (1 - tolerance)) lands on the same 1.5x

@@ -92,9 +92,14 @@ def free_attributes(plan_node: "PhysicalPlan", favorable: FavorableOrders,
 
 
 def refine_plan(optimizer: "Optimizer", expr: LogicalExpr, required: SortOrder,
-                plan: "PhysicalPlan") -> "PhysicalPlan":
+                plan: "PhysicalPlan", parallelism: int = 1) -> "PhysicalPlan":
     """Apply phase-2 refinement; returns the original plan unless the
-    reworked permutations strictly improve the estimated cost."""
+    reworked permutations strictly improve the estimated cost.
+
+    *parallelism* is threaded through to the re-optimization so the
+    refined plan competes under the same shard-aware enforcer placement
+    as the phase-1 plan it challenges.
+    """
     skeleton = collect_merge_join_tree(plan)
     if skeleton is None:
         return plan
@@ -133,5 +138,6 @@ def refine_plan(optimizer: "Optimizer", expr: LogicalExpr, required: SortOrder,
 
     if not forced:
         return plan
-    refined = optimizer.optimize_with_forced_orders(expr, required, forced)
+    refined = optimizer.optimize_with_forced_orders(expr, required, forced,
+                                                    parallelism=parallelism)
     return refined if refined.total_cost < plan.total_cost else plan

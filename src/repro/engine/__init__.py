@@ -18,7 +18,13 @@ from .context import (
     IOAccountant,
     SortMetrics,
 )
-from .exchange import ExchangeUnion, shard_scans
+from .exchange import (
+    ExchangeUnion,
+    MergeExchange,
+    push_sorts_below_exchange,
+    shard_scans,
+    with_exchange_workers,
+)
 from .executor import BatchedExecutor
 from .iterators import Operator, key_function, null_safe_wrap
 from .joins import HashJoin, MergeJoin, NestedLoopsJoin
@@ -30,9 +36,10 @@ from .scans import (
     ShardedScan,
     TableScan,
     shard_bounds,
+    shardable,
 )
 from .sets import Dedup, HashDedup, MergeUnion, UnionAll
-from .sorting import mrs_sort, sort_stream, srs_sort
+from .sorting import merge_sorted_streams, mrs_sort, sort_stream, srs_sort
 
 __all__ = [
     "BatchBuilder",
@@ -53,6 +60,7 @@ __all__ = [
     "HashJoin",
     "IOAccountant",
     "Limit",
+    "MergeExchange",
     "MergeJoin",
     "MergeUnion",
     "NestedLoopsJoin",
@@ -72,11 +80,15 @@ __all__ = [
     "collect_rows",
     "flatten_batches",
     "key_function",
+    "merge_sorted_streams",
     "mrs_sort",
     "null_safe_wrap",
     "operators_from_plan",
+    "push_sorts_below_exchange",
     "shard_bounds",
     "shard_scans",
+    "shardable",
     "sort_stream",
     "srs_sort",
+    "with_exchange_workers",
 ]

@@ -8,6 +8,15 @@ Because :class:`~repro.engine.scans.ShardedScan` partitions a table into
 unsharded scan's row sequence exactly — including its clustering order —
 so everything above the exchange is oblivious to the sharding.
 
+:class:`MergeExchange` is the *order-preserving* gather: its children
+each deliver rows already sorted on the merge order (typically per-shard
+SRS/MRS enforcers over the shards), and it performs a stable k-way heap
+merge — ties go to the lowest shard index, so the output is bit-identical
+to a stable full sort of the shards concatenated in shard order.  This
+is what lets a required order be enforced *below* the exchange, shard by
+shard, instead of by one big post-union sort (the shard-aware enforcer
+placement; see docs/execution.md).
+
 With ``max_workers > 1`` the children are executed concurrently on a
 thread pool, each charging a forked
 :class:`~repro.engine.context.ExecutionContext` whose counters are
@@ -21,13 +30,15 @@ from __future__ import annotations
 
 import copy
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
-from ..core.sort_order import EMPTY_ORDER
-from .batch import RowBatch
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from .basic import Compute, Filter, Project, Sort
+from .batch import RowBatch, batches_of, flatten_batches
 from .context import ExecutionContext
-from .iterators import Operator
-from .scans import ClusteringIndexScan, ShardedScan, TableScan
+from .iterators import Operator, assert_sorted_rows, key_function
+from .scans import ClusteringIndexScan, ShardedScan, TableScan, shardable
+from .sorting import merge_sorted_streams
 
 
 def _common_contiguous_order(children: Sequence[Operator]):
@@ -48,6 +59,28 @@ def _common_contiguous_order(children: Sequence[Operator]):
                 or child.shard_index != i):  # type: ignore[attr-defined]
             return EMPTY_ORDER
     return children[0].output_order
+
+
+def _drain_shards(children: Sequence[Operator], ctx: ExecutionContext,
+                  max_workers: int) -> list[list[RowBatch]]:
+    """Eagerly run every child to completion on a thread pool.
+
+    Each worker charges a forked context; all tallies are absorbed into
+    *ctx* **in shard order** — never completion order — before any batch
+    is returned, so totals stay deterministic however the workers
+    interleave.  The one drain discipline shared by both exchanges.
+    """
+    def drain(child: Operator) -> tuple[ExecutionContext, list[RowBatch]]:
+        forked = ctx.fork()
+        return forked, list(child.execute_batches(forked))
+
+    workers = min(max_workers, len(children))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(drain, child) for child in children]
+        results = [future.result() for future in futures]
+    for forked, _ in results:
+        ctx.absorb(forked)
+    return [batches for _, batches in results]
 
 
 class ExchangeUnion(Operator):
@@ -87,23 +120,77 @@ class ExchangeUnion(Operator):
         early-terminating consumers that care about I/O should drive the
         serial path.
         """
-        def drain(child: Operator) -> tuple[ExecutionContext, list[RowBatch]]:
-            forked = ctx.fork()
-            return forked, list(child.execute_batches(forked))
-
-        workers = min(self.max_workers, len(self.children))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = [future.result()
-                       for future in [pool.submit(drain, child)
-                                      for child in self.children]]
-        for forked, _ in results:
-            ctx.absorb(forked)
-        for _, batches in results:
+        for batches in _drain_shards(self.children, ctx, self.max_workers):
             yield from batches
 
     def details(self) -> str:
         suffix = f", {self.max_workers} workers" if self.max_workers > 1 else ""
         return f"{len(self.children)} shards{suffix}"
+
+
+class MergeExchange(Operator):
+    """Order-preserving gather: stable k-way merge of per-shard sorted
+    streams.
+
+    Every child must deliver rows sorted on *order* (enforced at run time
+    under ``ctx.check_orders``).  The merge is stable — equal keys come
+    out in shard order, and within a shard in arrival order — so the
+    output is bit-identical to what a stable full sort over the
+    concatenation of the children (in child order) would produce.  Merge
+    comparisons are tallied through the shared
+    :class:`~repro.engine.context.CountedKey` machinery, and are
+    independent of the batch size.
+    """
+
+    name = "MergeExchange"
+
+    def __init__(self, children: Sequence[Operator], order: SortOrder,
+                 max_workers: int = 1) -> None:
+        if not children:
+            raise ValueError("MergeExchange needs at least one child")
+        if not order:
+            raise ValueError("MergeExchange needs a non-empty merge order")
+        first = children[0].schema
+        for child in children[1:]:
+            if child.schema.names != first.names:
+                raise ValueError("MergeExchange children must share a schema")
+        if not first.has_all(list(order)):
+            missing = set(order) - set(first.names)
+            raise ValueError(f"merge order references missing columns {missing}")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        super().__init__(first, order, children)
+        self.max_workers = max_workers
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        streams = self._shard_streams(ctx)
+        if ctx.check_orders:
+            positions = self.schema.positions(list(self.output_order))
+            streams = [assert_sorted_rows(s, positions,
+                                          f"MergeExchange input shard {i}")
+                       for i, s in enumerate(streams)]
+        key_fn = key_function(self.schema, self.output_order)
+        merged = merge_sorted_streams(streams, key_fn, ctx)
+        return batches_of(merged, ctx.batch_size)
+
+    def _shard_streams(self, ctx: ExecutionContext) -> list[Iterator[tuple]]:
+        """One sorted row stream per child, in shard order.
+
+        Serial: lazy generators, so the merge stays pipelined.  Parallel:
+        the same eager :func:`_drain_shards` discipline as
+        :class:`ExchangeUnion` — all tallies land in *ctx* before the
+        merge (which runs on the calling thread) touches a single row.
+        """
+        if self.max_workers > 1 and len(self.children) > 1:
+            return [flatten_batches(batches)
+                    for batches in _drain_shards(self.children, ctx,
+                                                 self.max_workers)]
+        return [flatten_batches(child.execute_batches(ctx))
+                for child in self.children]
+
+    def details(self) -> str:
+        suffix = f", {self.max_workers} workers" if self.max_workers > 1 else ""
+        return f"{len(self.children)} shards on {self.output_order}{suffix}"
 
 
 def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operator:
@@ -122,8 +209,7 @@ def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operato
     if (isinstance(op, (TableScan, ClusteringIndexScan))
             and not isinstance(op, ShardedScan)
             and getattr(op, "shard_count", 1) == 1
-            and op.table.is_materialized
-            and len(op.table.rows) >= shard_count):
+            and shardable(op.table, shard_count)):
         shards = [ShardedScan(op.table, shard_count, i)
                   for i in range(shard_count)]
         return ExchangeUnion(shards, max_workers=max_workers)
@@ -133,4 +219,150 @@ def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operato
         return op
     clone = copy.copy(op)
     clone.children = new_children
+    return clone
+
+
+#: Per-row unaries that commute with sharding: applying them to each
+#: contiguous shard and concatenating equals applying them to the whole
+#: stream, and each shard's output order equals the whole-stream order.
+_ORDER_PRESERVING_UNARIES = (Filter, Project, Compute)
+
+#: The same whitelist by plan-op name — the optimizer's shard-aware
+#: enforcer placement imports this so the engine rewrite and the volcano
+#: search can never disagree about which shapes are shard-transparent.
+ORDER_PRESERVING_UNARY_OPS = tuple(cls.name for cls in _ORDER_PRESERVING_UNARIES)
+
+
+def _exchange_under(op: Operator) -> Optional[tuple[list[Operator], "ExchangeUnion"]]:
+    """The (unary path, exchange) below *op* when the subtree has the
+    shard fan-out shape, else ``None``.
+
+    Matches ``(Filter|Project|Compute)* → ExchangeUnion(shards of one
+    table)`` — exactly what :func:`shard_scans` builds under an enforcer.
+    """
+    path: list[Operator] = []
+    node = op
+    while isinstance(node, _ORDER_PRESERVING_UNARIES):
+        path.append(node)
+        node = node.children[0]
+    if not isinstance(node, ExchangeUnion):
+        return None
+    if not all(isinstance(c, TableScan) and c.shard_count > 1
+               for c in node.children):
+        return None
+    return path, node
+
+
+def _rebuild_path(path: Sequence[Operator], leaf: Operator) -> Operator:
+    """Clone the unary chain *path* (outermost first) onto a new leaf."""
+    node = leaf
+    for op in reversed(path):
+        if isinstance(op, Filter):
+            node = Filter(node, op.predicate)
+        elif isinstance(op, Project):
+            node = Project(node, list(op.schema.names))
+        else:
+            node = Compute(node, list(op.outputs))
+    return node
+
+
+def _sort_input_stats(scan: TableScan, path: Sequence[Operator]):
+    """Estimated statistics of the sort's input: the scan table's stats
+    carried through the unary path (filter selectivities applied,
+    projections narrowing the row width) — the same derivation the
+    optimizer's candidate plans carry, so the two decisions agree even
+    below selective filters."""
+    from ..storage.statistics import StatsView
+
+    stats = StatsView.of_table(scan.table.schema, scan.table.stats)
+    for op in reversed(path):  # innermost (closest to the exchange) first
+        if isinstance(op, Filter):
+            stats = stats.scaled(op.predicate.selectivity(stats))
+        elif all(name in stats.schema for name in op.schema.names):
+            stats = stats.projected(list(op.schema.names))
+        # else: a Compute added columns the table stats cannot price;
+        # keep the current width as the approximation.
+    return stats
+
+
+def _merge_beats_post_union(sort: Sort, scan: TableScan,
+                            path: Sequence[Operator], shard_count: int,
+                            params) -> bool:
+    """Cost-based pushdown decision, mirroring the optimizer's model.
+
+    Uses the exact same ``coe`` / ``sharded_coe`` formulas (and the same
+    tie-break) the volcano search applies, over statistics derived along
+    the unary path, so the engine-level rewrite and the optimizer can
+    never pull in opposite directions.
+    """
+    # Local imports: the engine package must stay importable without
+    # dragging the optimizer in at module-import time.
+    from ..optimizer.cost import CostModel, prefer_sharded
+
+    stats = _sort_input_stats(scan, path)
+    model = CostModel(params)
+    partial = sort.algorithm != "srs"
+    post_union = model.coe(stats, sort.known_prefix, sort.output_order,
+                           partial_enabled=partial)
+    sharded = model.sharded_coe(stats, sort.known_prefix, sort.output_order,
+                                shard_count, partial_enabled=partial)
+    return prefer_sharded(sharded, post_union)
+
+
+def push_sorts_below_exchange(op: Operator, params=None) -> Operator:
+    """Rewrite ``Sort → (unaries) → ExchangeUnion`` into per-shard sorts
+    under a :class:`MergeExchange`, where the cost model favours it.
+
+    The per-shard enforcers inherit the original sort's target order,
+    known prefix and algorithm, so SRS stays SRS and MRS partial sorts
+    keep exploiting the shards' clustering prefix.  Non-destructive like
+    :func:`shard_scans`: untouched subtrees are shared, rewritten paths
+    are rebuilt.  Applied by the executor only on explicit opt-in
+    (optimizer-produced plans have already made this choice).
+    """
+    if isinstance(op, Sort):
+        shape = _exchange_under(op.children[0])
+        if shape is not None:
+            path, exchange = shape
+            if params is None:
+                from ..storage.catalog import SystemParameters
+                params = SystemParameters()
+            scan = exchange.children[0]
+            assert isinstance(scan, TableScan)
+            if _merge_beats_post_union(op, scan, path, len(exchange.children),
+                                       params):
+                shards = [
+                    Sort(_rebuild_path(path, shard), op.output_order,
+                         known_prefix=op.known_prefix, algorithm=op.algorithm)
+                    for shard in exchange.children
+                ]
+                return MergeExchange(shards, op.output_order,
+                                     max_workers=exchange.max_workers)
+    new_children = tuple(push_sorts_below_exchange(c, params)
+                         for c in op.children)
+    if all(new is old for new, old in zip(new_children, op.children)):
+        return op
+    clone = copy.copy(op)
+    clone.children = new_children
+    return clone
+
+
+def with_exchange_workers(op: Operator, max_workers: int) -> Operator:
+    """A copy of *op* whose exchanges drain shards with *max_workers*.
+
+    Non-destructive (the input tree may be a cached plan's lowering or a
+    caller-owned pipeline); nodes already at the requested width are
+    shared unchanged.
+    """
+    new_children = tuple(with_exchange_workers(c, max_workers)
+                         for c in op.children)
+    changed = any(new is not old
+                  for new, old in zip(new_children, op.children))
+    is_exchange = isinstance(op, (ExchangeUnion, MergeExchange))
+    if not changed and not (is_exchange and op.max_workers != max_workers):
+        return op
+    clone = copy.copy(op)
+    clone.children = new_children
+    if is_exchange:
+        clone.max_workers = max_workers
     return clone

@@ -6,6 +6,16 @@ into shards (:func:`~repro.engine.exchange.shard_scans`), then pulls
 batches from the root.  Centralising the drive loop here — instead of
 each caller doing ``list(op.execute(ctx))`` — gives one place to hang
 parallel shard workers today and the async serving loop later.
+
+Shard-aware enforcement: plans produced by the optimizer with
+``parallelism > 1`` already carry their per-shard enforcers and
+:class:`~repro.engine.exchange.MergeExchange` gathers where the cost
+model chose them; the executor's job is only to honour the thread knob
+(``use_threads`` widens every exchange's drain pool) without disturbing
+that choice.  Hand-built operator pipelines can opt into the same
+rewrite with ``shard_aware_sorts=True``, which pushes a ``Sort`` sitting
+above a sharded exchange down into the shards when the cost model says
+the per-shard-sort-plus-merge pipeline is cheaper.
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from typing import Iterator, Optional
 
 from .batch import RowBatch, collect_rows
 from .context import ExecutionContext
-from .exchange import shard_scans
+from .exchange import push_sorts_below_exchange, shard_scans, with_exchange_workers
 from .iterators import Operator
 
 
@@ -25,22 +35,34 @@ class BatchedExecutor:
     into (1 = leave the plan untouched).  ``use_threads`` — run shards
     on a thread pool (per-shard forked contexts, deterministic merged
     tallies); off by default since CPython threads don't help
-    CPU-bound operator code.
+    CPU-bound operator code.  ``shard_aware_sorts`` — opt-in rewrite of
+    post-union sorts into per-shard sorts under a merge exchange for
+    hand-built pipelines; optimizer-produced plans have already made
+    this choice, so the serving layer leaves it off.
     """
 
     def __init__(self, parallelism: int = 1, use_threads: bool = False,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 shard_aware_sorts: bool = False) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
         self.use_threads = use_threads
         self.batch_size = batch_size
+        self.shard_aware_sorts = shard_aware_sorts
 
-    def prepare(self, op: Operator) -> Operator:
-        """Apply the sharding rewrite for this executor's parallelism."""
+    def prepare(self, op: Operator, params=None) -> Operator:
+        """Apply the sharding rewrites for this executor's parallelism."""
         if self.parallelism > 1:
             max_workers = self.parallelism if self.use_threads else 1
             op = shard_scans(op, self.parallelism, max_workers=max_workers)
+            if self.shard_aware_sorts:
+                op = push_sorts_below_exchange(op, params)
+            if self.use_threads:
+                # Plans lowered from the optimizer carry exchanges built
+                # with the default serial drain; widen them (and any
+                # narrower hand-built ones) without mutating the input.
+                op = with_exchange_workers(op, self.parallelism)
         return op
 
     def _context(self, op: Operator,
@@ -54,7 +76,7 @@ class BatchedExecutor:
                         ) -> Iterator[RowBatch]:
         """Batch stream of the (sharded) plan."""
         ctx = self._context(op, ctx)
-        return self.prepare(op).execute_batches(ctx)
+        return self.prepare(op, ctx.params).execute_batches(ctx)
 
     def run(self, op: Operator,
             ctx: Optional[ExecutionContext] = None) -> list[tuple]:

@@ -9,6 +9,7 @@ op                     args
 ``TableScan``          ``table`` (name)
 ``ShardedScan``        ``table``, ``shard_count``, ``shard_index``
 ``ExchangeUnion``      n-ary children; ``max_workers`` (optional)
+``MergeExchange``      n-ary children; merge order = plan.order; ``max_workers``
 ``ClusteringIndexScan``  ``table``
 ``CoveringIndexScan``  ``table``, ``index`` (names)
 ``Filter``             ``predicate``
@@ -36,7 +37,7 @@ from typing import TYPE_CHECKING
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from .aggregates import HashAggregate, SortAggregate
 from .basic import Compute, Filter, Limit, Project, Sort
-from .exchange import ExchangeUnion
+from .exchange import ExchangeUnion, MergeExchange
 from .iterators import Operator
 from .joins import HashJoin, MergeJoin, NestedLoopsJoin
 from .scans import ClusteringIndexScan, CoveringIndexScan, ShardedScan, TableScan
@@ -58,6 +59,8 @@ def operators_from_plan(plan, catalog: "Catalog") -> Operator:
                            plan.arg("shard_count"), plan.arg("shard_index"))
     if op == "ExchangeUnion":
         return ExchangeUnion(children, plan.arg("max_workers", 1))
+    if op == "MergeExchange":
+        return MergeExchange(children, plan.order, plan.arg("max_workers", 1))
     if op == "ClusteringIndexScan":
         return ClusteringIndexScan(catalog.table(plan.arg("table")))
     if op == "CoveringIndexScan":

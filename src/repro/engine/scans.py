@@ -39,6 +39,19 @@ from .context import ExecutionContext
 from .iterators import Operator
 
 
+def shardable(table: Table, shard_count: int) -> bool:
+    """Whether *table* supports a contiguous *shard_count*-way fan-out.
+
+    Shared by the executor's :func:`~repro.engine.exchange.shard_scans`
+    rewrite and the optimizer's shard-aware enforcer placement so the two
+    can never disagree about which scans may be partitioned: the table
+    must hold materialised rows (stats-only tables cannot be scanned) and
+    at least one row per shard.
+    """
+    return (shard_count >= 2 and table.is_materialized
+            and len(table.rows) >= shard_count)
+
+
 def shard_bounds(num_rows: int, shard_count: int, shard_index: int) -> tuple[int, int]:
     """Global row range ``[lo, hi)`` of one contiguous shard."""
     if shard_count < 1:

@@ -26,7 +26,7 @@ and count comparisons, making Experiments A1–A4 reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import SortOrder
 from ..storage.schema import Schema
@@ -60,6 +60,24 @@ class _RunStore:
         return self.ctx.charged_stream(run, self.row_bytes, category=self.category)
 
 
+def merge_sorted_streams(streams: Sequence[Iterable[tuple]], key_fn: KeyFn,
+                         ctx: ExecutionContext) -> Iterator[tuple]:
+    """Stable k-way merge of sorted row streams, tallying comparisons.
+
+    ``heapq.merge`` breaks key ties by stream position, so merging
+    per-shard sorted streams *in shard order* reproduces exactly the row
+    sequence a stable full sort of the concatenated input would emit —
+    the invariant :class:`~repro.engine.exchange.MergeExchange` and the
+    run merges below both rely on.
+    """
+    counter = ctx.comparisons
+
+    def counted_key(row: tuple) -> CountedKey:
+        return CountedKey(key_fn(row), counter)
+
+    return heapq.merge(*streams, key=counted_key)
+
+
 def _merge_runs(store: _RunStore, runs: list[list[tuple]], key_fn: KeyFn,
                 ctx: ExecutionContext) -> Iterator[tuple]:
     """Multiway-merge *runs* down to a single sorted stream.
@@ -72,22 +90,19 @@ def _merge_runs(store: _RunStore, runs: list[list[tuple]], key_fn: KeyFn,
     # list the caller handed us.
     runs = list(runs)
     fan_in = max(2, ctx.params.sort_memory_blocks - 1)
-    counter = ctx.comparisons
-
-    def counted_key(row: tuple) -> CountedKey:
-        return CountedKey(key_fn(row), counter)
 
     while len(runs) > fan_in:
         ctx.sort_metrics.merge_passes += 1
         next_runs: list[list[tuple]] = []
         for i in range(0, len(runs), fan_in):
             batch = runs[i:i + fan_in]
-            merged = list(heapq.merge(*(store.read_run(r) for r in batch), key=counted_key))
+            merged = list(merge_sorted_streams(
+                [store.read_run(r) for r in batch], key_fn, ctx))
             store.write_run(merged)
             next_runs.append(merged)
         runs = next_runs
     ctx.sort_metrics.merge_passes += 1
-    return heapq.merge(*(store.read_run(r) for r in runs), key=counted_key)
+    return merge_sorted_streams([store.read_run(r) for r in runs], key_fn, ctx)
 
 
 def srs_sort(rows: Iterable[tuple], key_fn: KeyFn, ctx: ExecutionContext,

@@ -36,6 +36,20 @@ from ..core.sort_order import (
 from ..storage.catalog import SystemParameters
 from ..storage.statistics import StatsView, blocks_for
 
+#: Relative margin a per-shard-sort-plus-merge plan must win by before it
+#: replaces the post-union sort.  With everything in memory the two CPU
+#: costs are mathematically identical (``N·log2(N/k) + N·log2(k) =
+#: N·log2(N)``), differing only by floating-point noise (~1e-16 relative);
+#: the margin makes such ties resolve deterministically to the simpler
+#: post-union plan while leaving every genuine spill-avoidance win intact.
+SHARDED_WIN_MARGIN = 1e-9
+
+
+def prefer_sharded(sharded_cost: float, post_union_cost: float) -> bool:
+    """Tie-break rule shared by the optimizer's enforcer placement and
+    the engine-level pushdown rewrite."""
+    return sharded_cost < post_union_cost * (1.0 - SHARDED_WIN_MARGIN)
+
 
 class CostModel:
     """Operator cost estimation against :class:`SystemParameters`."""
@@ -84,6 +98,37 @@ class CostModel:
         seg_rows = N / segments
         seg_blocks = max(1.0, B / segments)
         return segments * self.full_sort(seg_rows, seg_blocks)
+
+    def merge_exchange(self, num_rows: float, shard_count: int) -> float:
+        """CPU cost of a k-way order-preserving merge of shard streams:
+        each of the N output rows pays one heap step of ``log2(k)``
+        comparisons.  No I/O — the merge consumes the shard streams
+        directly."""
+        if shard_count <= 1 or num_rows <= 0:
+            return 0.0
+        return self.cpu(num_rows * math.log2(shard_count))
+
+    def sharded_coe(self, stats: StatsView, from_order: SortOrder,
+                    to_order: SortOrder, shard_count: int,
+                    partial_enabled: bool = True) -> float:
+        """``coe`` with the enforcer pushed below a shard fan-out: *k*
+        independent enforcers over ``N/k``-row contiguous shards (each
+        inheriting the input's guaranteed order) plus the order-preserving
+        merge that gathers them.
+
+        The win is an I/O phenomenon: the per-shard CPU exactly cancels
+        against the merge (``N·log2(N/k) + N·log2(k) = N·log2(N)``), but a
+        post-union sort that spills while the individual shards fit in
+        sort memory drops the entire run I/O term.
+        """
+        if shard_count <= 1:
+            return self.coe(stats, from_order, to_order, partial_enabled)
+        if not to_order or to_order.is_prefix_of(from_order, self.eq):
+            return 0.0
+        shard_stats = stats.scaled(1.0 / shard_count)
+        per_shard = self.coe(shard_stats, from_order, to_order, partial_enabled)
+        return (shard_count * per_shard
+                + self.merge_exchange(stats.N, shard_count))
 
     # -- scans ----------------------------------------------------------------------
     def table_scan(self, stats: StatsView) -> float:

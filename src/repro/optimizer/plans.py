@@ -69,6 +69,10 @@ class PhysicalPlan:
     def describe(self) -> str:
         detail = {
             "TableScan": lambda: self.arg("table"),
+            "ShardedScan": lambda: (f"{self.arg('table')} shard "
+                                    f"{self.arg('shard_index')}/{self.arg('shard_count')}"),
+            "ExchangeUnion": lambda: f"{len(self.children)} shards",
+            "MergeExchange": lambda: f"{len(self.children)} shards on {self.order}",
             "ClusteringIndexScan": lambda: f"{self.arg('table')} {self.order}",
             "CoveringIndexScan": lambda: f"{self.arg('table')}.{self.arg('index')} {self.order}",
             "Filter": lambda: f"{self.arg('predicate')}",

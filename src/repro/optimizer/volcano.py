@@ -39,6 +39,8 @@ from ..core.sort_order import (
     SortOrder,
     longest_common_prefix,
 )
+from ..engine.exchange import ORDER_PRESERVING_UNARY_OPS
+from ..engine.scans import shardable
 from ..expr.expressions import JoinPredicate
 from ..logical.algebra import (
     Annotator,
@@ -59,7 +61,7 @@ from ..logical.fds import FDSet, query_fds
 from ..storage.catalog import Catalog
 from ..storage.schema import Schema
 from ..storage.statistics import StatsView
-from .cost import CostModel
+from .cost import CostModel, prefer_sharded
 from .plans import PhysicalPlan, make_plan
 
 
@@ -78,6 +80,16 @@ class OptimizerConfig:
     #: cannot beat the best plan found so far for the current goal.  The
     #: chosen plan is identical either way; only search effort changes.
     cost_bound_pruning: bool = True
+    #: Shard fan-out the plan will execute with (``QuerySession`` passes
+    #: the execution-time ``parallelism`` knob through).  At 1 the search
+    #: is oblivious to sharding; above 1 enforcers may be placed below a
+    #: :class:`MergeExchange`, shard by shard, when that is cheaper.
+    parallelism: int = 1
+    #: Master switch for the per-shard enforcer placement — off forces
+    #: the pre-shard-aware behaviour (one post-union sort above the
+    #: exchange) even at ``parallelism > 1``; used as the baseline in
+    #: benchmarks and regression tests.
+    shard_aware_enforcers: bool = True
 
 
 def split_required_order(query, required_order: Optional[SortOrder] = None
@@ -117,33 +129,73 @@ class Optimizer:
         self._strategy = strategy_obj
 
     def optimize(self, query, required_order: Optional[SortOrder] = None,
-                 refine: Optional[bool] = None) -> PhysicalPlan:
+                 refine: Optional[bool] = None,
+                 parallelism: Optional[int] = None) -> PhysicalPlan:
         """Optimize a :class:`Query` (or raw logical tree) to a physical plan.
 
         A root :class:`OrderBy` turns into the required output order.
         Phase-2 refinement is applied according to the config unless
-        overridden by *refine*.
+        overridden by *refine*.  *parallelism* overrides the config's
+        shard fan-out for this call (the serving layer passes the
+        execution-time knob through).
         """
         expr, required = split_required_order(query, required_order)
-        run = OptimizationRun(self.catalog, expr, self._strategy, self.config)
+        config = self._config_for(parallelism)
+        run = OptimizationRun(self.catalog, expr, self._strategy, config)
         plan = run.optimize_goal(expr, required)
         plan = run.ensure_schema(plan, expr)
         do_refine = self.config.refine if refine is None else refine
         if do_refine:
             from ..core.refinement import refine_plan
-            plan = refine_plan(self, expr, required, plan)
+            plan = refine_plan(self, expr, required, plan,
+                               parallelism=config.parallelism)
         return plan
 
     def optimize_with_forced_orders(self, expr: LogicalExpr, required: SortOrder,
-                                    forced: dict[LogicalExpr, SortOrder]) -> PhysicalPlan:
+                                    forced: dict[LogicalExpr, SortOrder],
+                                    parallelism: Optional[int] = None) -> PhysicalPlan:
         """Re-plan with explicit permutations at given nodes (phase 2)."""
         strategy = ForcedOrderStrategy(self._strategy, forced)
-        run = OptimizationRun(self.catalog, expr, strategy, self.config)
+        run = OptimizationRun(self.catalog, expr, strategy,
+                              self._config_for(parallelism))
         plan = run.optimize_goal(expr, required or EMPTY_ORDER)
         return run.ensure_schema(plan, expr)
 
-    def cost_of(self, query, required_order: Optional[SortOrder] = None) -> float:
-        return self.optimize(query, required_order).total_cost
+    def _config_for(self, parallelism: Optional[int]) -> OptimizerConfig:
+        if parallelism is None or parallelism == self.config.parallelism:
+            return self.config
+        return replace(self.config, parallelism=max(1, parallelism))
+
+    def cost_of(self, query, required_order: Optional[SortOrder] = None,
+                parallelism: Optional[int] = None) -> float:
+        return self.optimize(query, required_order,
+                             parallelism=parallelism).total_cost
+
+
+#: Plan ops transparent to sharding — the engine's order-preserving
+#: per-row unaries, by name (single source of truth: engine/exchange.py).
+SHARD_TRANSPARENT_OPS = ORDER_PRESERVING_UNARY_OPS
+_SHARDABLE_SCAN_OPS = ("TableScan", "ClusteringIndexScan")
+
+
+def shardable_enforcement_input(plan: PhysicalPlan, catalog: Catalog,
+                                parallelism: int) -> bool:
+    """Whether *plan* is a shape whose order enforcement can be pushed
+    below a shard fan-out: a chain of per-row, order-preserving unaries
+    over one shardable scan — sharded execution of such a subtree
+    provably partitions the unsharded stream.  Shared by the search
+    (:meth:`OptimizationRun.enforce`) and the serving layer's decision
+    counters, so "a sharded alternative existed" means the same thing in
+    both places.
+    """
+    if parallelism < 2:
+        return False
+    node = plan
+    while node.op in SHARD_TRANSPARENT_OPS and len(node.children) == 1:
+        node = node.children[0]
+    if node.op not in _SHARDABLE_SCAN_OPS:
+        return False
+    return shardable(catalog.table(node.arg("table")), parallelism)
 
 
 class _Bound:
@@ -165,6 +217,9 @@ class OptimizationRun:
         self.root = root
         self.config = config
         self.strategy = strategy
+        #: Shard fan-out enforcers may exploit (1 = sharding-oblivious).
+        self.parallelism = (max(1, config.parallelism)
+                            if config.shard_aware_enforcers else 1)
         self.annotator = Annotator(catalog, root)
         self.eq = self.annotator.eq
         self.fds = query_fds(catalog, root)
@@ -265,6 +320,14 @@ class OptimizationRun:
                 limit: float = math.inf) -> Optional[PhysicalPlan]:
         """Add a (partial) sort enforcer if *plan* misses the requirement.
 
+        With ``parallelism > 1`` and a shardable input, two enforcer
+        placements compete on cost: the classic post-union sort above the
+        (future) exchange, and per-shard SRS/MRS enforcers gathered by an
+        order-preserving :class:`MergeExchange` — "partitioned +
+        per-shard-ordered" is a physical property the merge converts into
+        the required global order.  Ties resolve to the simpler
+        post-union plan (:func:`~repro.optimizer.cost.prefer_sharded`).
+
         Returns ``None`` when no enforcer applies — or when the enforced
         plan's total cost reaches *limit*, i.e. it provably cannot beat
         the best alternative already known to the caller.
@@ -281,6 +344,17 @@ class OptimizationRun:
         prefix = longest_common_prefix(translated, plan.order, self.eq)
         cost = self.cost_model.coe(plan.stats, plan.order, translated,
                                    partial_enabled=partial_ok)
+        if shardable_enforcement_input(plan, self.catalog, self.parallelism):
+            # Decide on the (cheap) cost estimate first; the k-shard plan
+            # tree is only materialised when it actually wins.
+            sharded_cost = self.cost_model.sharded_coe(
+                plan.stats, plan.order, translated, self.parallelism,
+                partial_enabled=partial_ok)
+            if prefer_sharded(plan.total_cost + sharded_cost,
+                              plan.total_cost + cost):
+                sharded = self._shard_enforced(plan, translated, prefix,
+                                               partial_ok)
+                return sharded if sharded.total_cost < limit else None
         if plan.total_cost + cost >= limit:
             return None
         if prefix and partial_ok:
@@ -288,6 +362,50 @@ class OptimizationRun:
                              cost, [plan], prefix=prefix, algorithm="mrs")
         return make_plan("Sort", plan.schema, translated, plan.stats, cost,
                          [plan], prefix=EMPTY_ORDER, algorithm="srs")
+
+    # -- shard-aware enforcement ------------------------------------------------------
+    def _shard_clone(self, node: PhysicalPlan, shard_count: int,
+                     shard_index: int) -> PhysicalPlan:
+        """One shard's copy of a shardable subtree: the scan leaf becomes
+        a ``ShardedScan`` and every node carries ``1/k`` of the rows and
+        cost, so the k shards together cost exactly what the unsharded
+        subtree did — the plan comparison isolates the enforcers."""
+        stats = node.stats.scaled(1.0 / shard_count)
+        if node.op in _SHARDABLE_SCAN_OPS:
+            return make_plan("ShardedScan", node.schema, node.order, stats,
+                             node.self_cost / shard_count,
+                             table=node.arg("table"),
+                             shard_count=shard_count, shard_index=shard_index)
+        child = self._shard_clone(node.children[0], shard_count, shard_index)
+        return PhysicalPlan(node.op, node.schema, node.order, stats,
+                            node.self_cost / shard_count, (child,), node.args)
+
+    def _shard_enforced(self, plan: PhysicalPlan, translated: SortOrder,
+                        prefix: SortOrder,
+                        partial_ok: bool) -> PhysicalPlan:
+        """Materialise the per-shard-sort-plus-merge alternative for
+        *plan* (caller has already established shardability and that the
+        :meth:`~repro.optimizer.cost.CostModel.sharded_coe` estimate
+        wins)."""
+        k = self.parallelism
+        shard_stats = plan.stats.scaled(1.0 / k)
+        enforcer_cost = self.cost_model.coe(shard_stats, plan.order, translated,
+                                            partial_enabled=partial_ok)
+        shards = []
+        for i in range(k):
+            shard = self._shard_clone(plan, k, i)
+            if prefix and partial_ok:
+                shards.append(make_plan(
+                    "PartialSort", shard.schema, translated, shard.stats,
+                    enforcer_cost, [shard], prefix=prefix, algorithm="mrs"))
+            else:
+                shards.append(make_plan(
+                    "Sort", shard.schema, translated, shard.stats,
+                    enforcer_cost, [shard], prefix=EMPTY_ORDER,
+                    algorithm="srs"))
+        merge_cost = self.cost_model.merge_exchange(plan.stats.N, k)
+        return make_plan("MergeExchange", plan.schema, translated, plan.stats,
+                         merge_cost, shards)
 
     def _translate_order(self, order: SortOrder,
                          schema: Schema) -> Optional[SortOrder]:

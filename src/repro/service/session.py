@@ -50,7 +50,12 @@ from ..logical.builder import Query
 from ..logical.fingerprint import logical_fingerprint
 from ..core.sort_order import SortOrder
 from ..optimizer.plans import PhysicalPlan
-from ..optimizer.volcano import Optimizer, OptimizerConfig, split_required_order
+from ..optimizer.volcano import (
+    Optimizer,
+    OptimizerConfig,
+    shardable_enforcement_input,
+    split_required_order,
+)
 from ..storage.catalog import Catalog
 from .plan_cache import PlanCache
 
@@ -160,6 +165,12 @@ class SessionMetrics:
     optimizations: int = 0
     executions: int = 0
     optimize_seconds: float = 0.0
+    #: Shard-aware enforcer placement decisions, counted once per fresh
+    #: optimization at ``parallelism > 1``: plans that enforce order
+    #: per shard under a MergeExchange vs plans that kept the post-union
+    #: sort because the cost model said the merge would not pay off.
+    shard_merge_plans: int = 0
+    post_union_sort_plans: int = 0
 
 
 class PreparedQuery:
@@ -167,13 +178,18 @@ class PreparedQuery:
 
     def __init__(self, session: "QuerySession", plan: PhysicalPlan,
                  fingerprint: str, required: SortOrder,
-                 from_cache: bool, tables: frozenset[str] = frozenset()) -> None:
+                 from_cache: bool, tables: frozenset[str] = frozenset(),
+                 parallelism: int = 1) -> None:
         self.session = session
         self.plan = plan
         self.fingerprint = fingerprint
         self.required_order = required
         self.from_cache = from_cache
         self.tables = tables
+        #: The shard fan-out the plan was optimized for; ``execute``
+        #: defaults to it so the merge-exchange choice and the runtime
+        #: sharding stay in lockstep.
+        self.parallelism = parallelism
         self.param_names = plan_params(plan)
 
     @property
@@ -196,19 +212,24 @@ class PreparedQuery:
         return bind_plan(self.plan, binds)
 
     def execute(self, ctx: Optional[ExecutionContext] = None,
-                parallelism: int = 1, batch_size: Optional[int] = None,
+                parallelism: Optional[int] = None,
+                batch_size: Optional[int] = None,
                 use_threads: bool = False, **binds: Any) -> list[tuple]:
         """Run the plan on the batched engine.
 
-        ``parallelism`` shards every full table scan into that many
-        contiguous partitions gathered by an ExchangeUnion;
-        ``batch_size`` sets the rows-per-batch of a context created
-        here (ignored when *ctx* is supplied).
+        ``parallelism`` (default: the value the plan was prepared with)
+        shards every full table scan into that many contiguous partitions
+        gathered by an ExchangeUnion; scans the optimizer already sharded
+        under a MergeExchange are left as planned.  ``batch_size`` sets
+        the rows-per-batch of a context created here (ignored when *ctx*
+        is supplied).
         """
         plan = self.bind(**binds)
         self.session.metrics.executions += 1
         ctx = ctx or ExecutionContext(self.session.catalog,
                                       batch_size=batch_size)
+        if parallelism is None:
+            parallelism = self.parallelism
         executor = BatchedExecutor(parallelism=parallelism,
                                    use_threads=use_threads)
         return executor.run(plan.to_operator(self.session.catalog), ctx)
@@ -234,12 +255,24 @@ class QuerySession:
 
     # -- public API ------------------------------------------------------------------
     def prepare(self, query: TUnion[Query, LogicalExpr],
-                required_order: Optional[SortOrder] = None) -> PreparedQuery:
-        """Plan (or fetch the cached plan for) a query."""
+                required_order: Optional[SortOrder] = None,
+                parallelism: int = 1) -> PreparedQuery:
+        """Plan (or fetch the cached plan for) a query.
+
+        ``parallelism > 1`` plans for a sharded execution: enforcers may
+        be placed per shard under a MergeExchange when the cost model
+        favours it, so the fan-out is part of the cache key — the same
+        logical query prepared at a different parallelism is a different
+        physical plan.
+        """
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
         # The same normalization Optimizer.optimize applies, so the cache
         # key always describes exactly the tree that gets planned.
         expr, required = split_required_order(query, required_order)
         fp = logical_fingerprint(expr, required)
+        if parallelism > 1:
+            fp = f"{fp}#p{parallelism}"
         tables = referenced_tables(expr)
         # Per-table invalidation: the token covers only the tables this
         # query reads, so refreshes elsewhere leave the entry valid.
@@ -248,14 +281,25 @@ class QuerySession:
         plan = self.cache.get(fp, version)
         if plan is not None:
             return PreparedQuery(self, plan, fp, required, from_cache=True,
-                                 tables=tables)
+                                 tables=tables, parallelism=parallelism)
         start = time.perf_counter()
-        plan = self.optimizer.optimize(expr, required)
+        plan = self.optimizer.optimize(expr, required, parallelism=parallelism)
         self.metrics.optimize_seconds += time.perf_counter() - start
         self.metrics.optimizations += 1
+        if parallelism > 1:
+            if plan.find_all("MergeExchange"):
+                self.metrics.shard_merge_plans += 1
+            elif any(shardable_enforcement_input(node.children[0], self.catalog,
+                                                 parallelism)
+                     for node in plan.walk()
+                     if node.op in ("Sort", "PartialSort")):
+                # Only count sorts where a per-shard alternative actually
+                # existed and lost on cost — interior sorts over
+                # unshardable shapes (join inputs etc.) are not decisions.
+                self.metrics.post_union_sort_plans += 1
         self.cache.put(fp, plan, version)
         return PreparedQuery(self, plan, fp, required, from_cache=False,
-                             tables=tables)
+                             tables=tables, parallelism=parallelism)
 
     def execute(self, query: TUnion[Query, LogicalExpr],
                 required_order: Optional[SortOrder] = None,
@@ -263,17 +307,19 @@ class QuerySession:
                 parallelism: int = 1, batch_size: Optional[int] = None,
                 use_threads: bool = False, **binds: Any) -> list[tuple]:
         """Prepare (served from cache when possible) and execute."""
-        return self.prepare(query, required_order).execute(
-            ctx, parallelism=parallelism, batch_size=batch_size,
-            use_threads=use_threads, **binds)
+        return self.prepare(query, required_order, parallelism=parallelism).execute(
+            ctx, batch_size=batch_size, use_threads=use_threads, **binds)
 
     def explain(self, query: TUnion[Query, LogicalExpr],
-                required_order: Optional[SortOrder] = None) -> str:
-        return self.prepare(query, required_order).explain()
+                required_order: Optional[SortOrder] = None,
+                parallelism: int = 1) -> str:
+        return self.prepare(query, required_order, parallelism=parallelism).explain()
 
     def cost_of(self, query: TUnion[Query, LogicalExpr],
-                required_order: Optional[SortOrder] = None) -> float:
-        return self.prepare(query, required_order).total_cost
+                required_order: Optional[SortOrder] = None,
+                parallelism: int = 1) -> float:
+        return self.prepare(query, required_order,
+                            parallelism=parallelism).total_cost
 
     def invalidate_plans(self) -> int:
         """Manually drop every cached plan (bulk loads, DDL scripts)."""
@@ -289,6 +335,8 @@ class QuerySession:
             "optimizations": self.metrics.optimizations,
             "executions": self.metrics.executions,
             "optimize_seconds": self.metrics.optimize_seconds,
+            "shard_merge_plans": self.metrics.shard_merge_plans,
+            "post_union_sort_plans": self.metrics.post_union_sort_plans,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_ttl_seconds": self.cache.ttl_seconds,

@@ -233,7 +233,11 @@ class TestSessionKnobs:
                                    use_threads=True)
         assert sharded == serial and threaded == serial
         assert session.metrics.executions == 3
-        assert session.metrics.optimizations == 1  # all served from cache
+        # Parallelism is part of the plan-cache key (the enforcer
+        # placement depends on it): one plan per fan-out, and the
+        # threaded run reuses the parallelism=4 entry.
+        assert session.metrics.optimizations == 2
+        assert session.cache.stats.hits == 1
 
     def test_session_batch_size_knob(self, catalog):
         from repro.service import QuerySession

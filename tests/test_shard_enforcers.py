@@ -1,0 +1,176 @@
+"""Shard-aware enforcer placement: the optimizer's cost-based choice
+between one post-union sort and per-shard SRS/MRS enforcers under a
+MergeExchange, the serving-layer counters, plan-cache keying, and the
+end-to-end acceptance scenario on the large synthetic workload."""
+
+import pytest
+
+from repro.core.sort_order import SortOrder
+from repro.engine import (
+    BatchedExecutor,
+    ExecutionContext,
+    MergeExchange,
+    Sort,
+    TableScan,
+)
+from repro.logical import Query
+from repro.optimizer import Optimizer
+from repro.service import QuerySession
+from repro.storage import SystemParameters
+from repro.workloads import segmented_catalog
+
+
+def spill_catalog(num_rows=8000, rows_per_segment=100, memory_blocks=200):
+    """The post-union sort spills (B > M) while one quarter/half shard
+    fits in sort memory (B/k <= M) — the regime where per-shard
+    enforcement wins outright."""
+    return segmented_catalog(
+        num_rows, rows_per_segment,
+        params=SystemParameters(sort_memory_blocks=memory_blocks))
+
+
+class TestEnforcerChoice:
+    def test_picks_per_shard_merge_when_cheaper(self):
+        catalog = spill_catalog()
+        query = Query.table("r").order_by("c2")  # no prefix → SRS enforcers
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+
+        merges = prepared.plan.find_all("MergeExchange")
+        assert len(merges) == 1
+        assert [c.op for c in merges[0].children] == ["Sort"] * 4
+        assert [c.children[0].op for c in merges[0].children] == \
+            ["ShardedScan"] * 4
+
+        baseline = QuerySession(catalog, shard_aware_enforcers=False)
+        post_union = baseline.prepare(query, parallelism=4)
+        assert post_union.plan.find_all("MergeExchange") == []
+        assert prepared.total_cost < post_union.total_cost
+
+        assert session.stats()["shard_merge_plans"] == 1
+        assert session.stats()["post_union_sort_plans"] == 0
+        assert baseline.stats()["shard_merge_plans"] == 0
+        assert baseline.stats()["post_union_sort_plans"] == 1
+
+    def test_falls_back_to_post_union_when_not_cheaper(self):
+        """Everything fits in sort memory: the per-shard CPU exactly
+        cancels against the merge term, and the tie resolves to the
+        simpler post-union plan."""
+        catalog = segmented_catalog(500, 50)  # 25 blocks << 10,000-block memory
+        query = Query.table("r").order_by("c2")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        assert prepared.plan.find_all("MergeExchange") == []
+        assert prepared.plan.find_all("Sort")
+        assert session.stats()["post_union_sort_plans"] == 1
+        assert session.stats()["shard_merge_plans"] == 0
+        # And the fallback plan still executes correctly when sharded.
+        assert prepared.execute() == session.execute(query)
+
+    def test_per_shard_mrs_on_oversized_segments(self):
+        """ORDER BY (c1, c2) over clustering (c1) with segments larger
+        than sort memory: post-union MRS spills per segment, while the
+        shard boundaries cut segments down to memory-sized pieces — the
+        per-shard enforcers are PartialSorts and the executed pipeline
+        avoids run I/O entirely."""
+        catalog = spill_catalog(num_rows=8000, rows_per_segment=4000,
+                                memory_blocks=100)
+        query = Query.table("r").order_by("c1", "c2")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        merges = prepared.plan.find_all("MergeExchange")
+        assert len(merges) == 1
+        assert [c.op for c in merges[0].children] == ["PartialSort"] * 4
+
+        baseline = QuerySession(catalog, shard_aware_enforcers=False)
+        post_union = baseline.prepare(query, parallelism=4)
+        assert prepared.total_cost < post_union.total_cost
+
+        merge_ctx = ExecutionContext(catalog)
+        post_ctx = ExecutionContext(catalog)
+        assert prepared.execute(merge_ctx) == post_union.execute(post_ctx)
+        assert merge_ctx.sort_metrics.runs_created == 0   # pipelined MRS
+        assert post_ctx.sort_metrics.runs_created > 0     # segment spills
+        assert merge_ctx.cost_units() < post_ctx.cost_units()
+
+    def test_parallelism_one_is_oblivious(self):
+        catalog = spill_catalog()
+        query = Query.table("r").order_by("c2")
+        plain = Optimizer(catalog).optimize(query)
+        explicit = Optimizer(catalog).optimize(query, parallelism=1)
+        assert plain.signature() == explicit.signature()
+        assert plain.find_all("MergeExchange") == []
+
+
+class TestServingIntegration:
+    def test_plan_cache_keyed_by_parallelism(self):
+        catalog = spill_catalog()
+        query = Query.table("r").order_by("c2")
+        session = QuerySession(catalog)
+        serial = session.prepare(query)
+        sharded = session.prepare(query, parallelism=4)
+        assert session.metrics.optimizations == 2  # no cross-fan-out hit
+        assert serial.plan.signature() != sharded.plan.signature()
+        again = session.prepare(query, parallelism=4)
+        assert again.from_cache
+        assert again.plan.signature() == sharded.plan.signature()
+        assert session.prepare(query).from_cache  # serial entry intact
+
+    def test_engine_level_pushdown_opt_in(self):
+        """Hand-built pipelines get the same rewrite (and the same cost
+        rule) through BatchedExecutor(shard_aware_sorts=True)."""
+        catalog = spill_catalog()
+        table = catalog.table("r")
+        op = Sort(TableScan(table), SortOrder(["c2"]))
+        expected = op.run(ExecutionContext(catalog))
+
+        executor = BatchedExecutor(parallelism=4, shard_aware_sorts=True)
+        prepared = executor.prepare(op, catalog.params)
+        assert isinstance(prepared, MergeExchange)
+        assert executor.run(op, ExecutionContext(catalog)) == expected
+
+        # Off by default: the sort stays above the exchange.
+        plain = BatchedExecutor(parallelism=4).prepare(op, catalog.params)
+        assert isinstance(plain, Sort)
+        # And the rewrite declines when the cost model says it won't pay.
+        tiny = segmented_catalog(500, 50)
+        cheap_sort = Sort(TableScan(tiny.table("r")), SortOrder(["c2"]))
+        assert isinstance(executor.prepare(cheap_sort, tiny.params), Sort)
+
+
+class TestAcceptance:
+    """ISSUE acceptance: on the large synthetic workload with 4 shards,
+    an ordered query through QuerySession.execute(parallelism=4) lowers
+    to per-shard SRS/MRS + MergeExchange when cheaper, with simulated
+    cost strictly below the post-union full-sort plan and bit-identical
+    output at batch sizes {1, 64, default}."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return spill_catalog(num_rows=20_000, rows_per_segment=100,
+                             memory_blocks=500)
+
+    def test_end_to_end(self, catalog):
+        query = Query.table("r").order_by("c2")
+        session = QuerySession(catalog)
+        baseline = QuerySession(catalog, shard_aware_enforcers=False)
+
+        prepared = session.prepare(query, parallelism=4)
+        post_union = baseline.prepare(query, parallelism=4)
+        merges = prepared.plan.find_all("MergeExchange")
+        assert len(merges) == 1 and len(merges[0].children) == 4
+        assert prepared.total_cost < post_union.total_cost  # strictly below
+
+        reference = session.execute(query)  # serial plan
+        for batch_size in (1, 64, None):
+            assert session.execute(query, parallelism=4,
+                                   batch_size=batch_size) == reference
+        assert baseline.execute(query, parallelism=4) == reference
+        assert session.execute(query, parallelism=4,
+                               use_threads=True) == reference
+
+        merge_ctx, post_ctx = ExecutionContext(catalog), ExecutionContext(catalog)
+        assert prepared.execute(merge_ctx) == post_union.execute(post_ctx)
+        assert merge_ctx.cost_units() < post_ctx.cost_units()
+        assert merge_ctx.sort_metrics.runs_created == 0   # shards fit in memory
+        assert post_ctx.sort_metrics.runs_created > 0     # full sort spilled
