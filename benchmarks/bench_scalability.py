@@ -18,6 +18,12 @@ individual shards fit in sort memory — the regime the enforcer pushdown
 targets — and gated on *simulated cost units* (deterministic) by
 ``check_regression.py``.
 
+Part 4 — shard-aware enforcement under a join+aggregate: the
+sort-order-consuming ``r ⋈ dim ON c2=d2 GROUP BY c2 ORDER BY c2`` plan
+at parallelism 4, per-shard enforcers composed below the merge join vs
+the post-union spilling sort (``shard_aware_enforcers=False``).  Also
+gated on simulated cost units.
+
 Two modes:
 
 * ``pytest benchmarks/bench_scalability.py`` — full run with the shared
@@ -312,6 +318,112 @@ def test_shard_enforcers_beat_post_union(benchmark, results_sink):
     assert result["shard_merge_advantage"] > 1.5
 
 
+# -- shard-aware join + aggregate --------------------------------------------------------
+def _join_agg_catalog(num_rows: int, memory_blocks: int, c2_domain: int,
+                      dim_rows: int, seed: int = 3):
+    """Large synthetic ``r`` (clustered on c1, c2 in a bounded domain)
+    plus a ``dim`` table keyed on that domain — joining on c2 needs a
+    sort of r that spills post-union but fits per shard."""
+    import random
+
+    from repro.storage import Schema
+
+    catalog = segmented_catalog(
+        num_rows, 100, params=SystemParameters(sort_memory_blocks=memory_blocks))
+    rng = random.Random(seed)
+    table = catalog.table("r")
+    table._rows[:] = [(i // 100, rng.randrange(c2_domain), "p")
+                      for i in range(num_rows)]
+    table._sort_rows_by(SortOrder(["c1"]))
+    table.update_stats()
+    catalog.create_table(
+        "dim", Schema.of(("d2", "int", 8), ("weight", "int", 8)),
+        rows=[(v, rng.randrange(10)) for v in range(dim_rows)],
+        primary_key=["d2"])
+    return catalog
+
+
+def run_sharded_join_benchmark(num_rows: int = 20_000,
+                               parallelism: int = 4) -> dict:
+    """Join+aggregate with shard-aware enforcement vs post-union sort.
+
+    ``SELECT c2, SUM(weight) FROM r JOIN dim ON c2 = d2 GROUP BY c2
+    ORDER BY c2`` — the merge join consumes the enforced order and the
+    aggregate consumes the join's order, so the single enforcer below
+    the join decides the whole plan's I/O profile.  Simulated cost units
+    are deterministic; wall-clock is reported but not gated.
+    """
+    from repro.expr import col
+    from repro.expr.aggregates import agg_sum
+
+    catalog = _join_agg_catalog(num_rows, memory_blocks=num_rows // 40,
+                                c2_domain=max(100, num_rows // 10),
+                                dim_rows=max(100, num_rows // 10))
+    query = (Query.table("r")
+             .join("dim", on=[("c2", "d2")])
+             .group_by(["c2"], agg_sum(col("weight"), "w"))
+             .order_by("c2"))
+    sessions = {
+        "merge": QuerySession(catalog),
+        "post_union": QuerySession(catalog, shard_aware_enforcers=False),
+    }
+    results: dict = {"num_rows": num_rows}
+    reference = None
+    for mode, session in sessions.items():
+        ctx = ExecutionContext(catalog)
+        start = time.perf_counter()
+        rows = session.execute(query, parallelism=parallelism, ctx=ctx)
+        seconds = time.perf_counter() - start
+        if reference is None:
+            reference = rows
+        assert rows == reference, mode  # bit-identical across placements
+        prepared = session.prepare(query, parallelism=parallelism)
+        results[mode] = {
+            "ms": seconds * 1000.0,
+            "cost_units": ctx.cost_units(),
+            "estimated_cost": prepared.total_cost,
+            "runs_created": ctx.sort_metrics.runs_created,
+            "merge_exchanges": len(prepared.plan.find_all("MergeExchange")),
+        }
+    results["sharded_join_cost_units"] = results["merge"]["cost_units"]
+    results["post_union_join_cost_units"] = results["post_union"]["cost_units"]
+    results["sharded_join_advantage"] = (
+        results["post_union"]["cost_units"] / results["merge"]["cost_units"])
+    return results
+
+
+JOIN_HEADERS = ["placement", "cost units", "estimated cost", "ms",
+                "spilled runs", "merge exchanges"]
+
+
+def _join_rows(result: dict) -> list:
+    return [[mode, round(result[mode]["cost_units"], 1),
+             round(result[mode]["estimated_cost"], 1),
+             round(result[mode]["ms"], 1), result[mode]["runs_created"],
+             result[mode]["merge_exchanges"]]
+            for mode in ("merge", "post_union")]
+
+
+def test_sharded_join_agg_beats_post_union(benchmark, results_sink):
+    result = benchmark.pedantic(run_sharded_join_benchmark,
+                                rounds=1, iterations=1)
+    results_sink(format_table(
+        JOIN_HEADERS, _join_rows(result),
+        title="Shard-aware join+aggregate — per-shard enforcement below "
+              "the merge join vs post-union sort (parallelism 4)"))
+    benchmark.extra_info["sharded_join"] = {
+        k: v for k, v in result.items() if not isinstance(v, dict)}
+    assert result["merge"]["merge_exchanges"] >= 1
+    assert result["post_union"]["merge_exchanges"] == 0
+    # Per-shard enforcement spills nothing; the best shard-oblivious plan
+    # pays big spill I/O instead (a Grace hash build or a run-spilling
+    # post-union sort, whichever the cost model prefers).
+    assert result["merge"]["runs_created"] == 0
+    assert result["merge"]["estimated_cost"] < \
+        result["post_union"]["estimated_cost"]
+    assert result["sharded_join_advantage"] > 1.5
+
+
 # -- standalone / CI smoke ---------------------------------------------------------------
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
@@ -330,6 +442,14 @@ def main(argv: list[str]) -> int:
     if shard["shard_merge_advantage"] <= 1.0:
         print(f"FAIL: per-shard enforcement not cheaper "
               f"(advantage {shard['shard_merge_advantage']:.2f}x)")
+        return 1
+    join = run_sharded_join_benchmark(10_000 if smoke else 20_000)
+    print(format_table(JOIN_HEADERS, _join_rows(join),
+                       title="Shard-aware join+aggregate — per-shard "
+                             "enforcement vs post-union sort"))
+    if join["sharded_join_advantage"] <= 1.0:
+        print(f"FAIL: sharded join+aggregate not cheaper "
+              f"(advantage {join['sharded_join_advantage']:.2f}x)")
         return 1
     print("\nok")
     return 0

@@ -28,7 +28,11 @@ BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 sys.path.insert(0, str(BENCH_DIR))
 
 from bench_plan_cache import run_cache_benchmark, run_pruning_benchmark  # noqa: E402
-from bench_scalability import run_batch_speedup, run_shard_enforcer_benchmark  # noqa: E402
+from bench_scalability import (  # noqa: E402
+    run_batch_speedup,
+    run_shard_enforcer_benchmark,
+    run_sharded_join_benchmark,
+)
 
 
 def collect_metrics() -> dict[str, float]:
@@ -54,6 +58,15 @@ def collect_metrics() -> dict[str, float]:
     metrics["post_union_sort_cost_units"] = round(
         shard["post_union_cost_units"], 3)
     metrics["shard_merge_advantage"] = round(shard["shard_merge_advantage"], 3)
+
+    # Sharded join+aggregate: the enforcer composed below a merge join.
+    join = run_sharded_join_benchmark(num_rows=10_000)
+    metrics["sharded_join_cost_units"] = round(
+        join["sharded_join_cost_units"], 3)
+    metrics["post_union_join_cost_units"] = round(
+        join["post_union_join_cost_units"], 3)
+    metrics["sharded_join_advantage"] = round(
+        join["sharded_join_advantage"], 3)
     return metrics
 
 
@@ -93,7 +106,8 @@ def write_baseline(metrics: dict[str, float]) -> None:
     specs = {}
     for name, value in metrics.items():
         higher_is_better = name.startswith(
-            ("cache_hit_rate", "batch_speedup", "shard_merge_advantage"))
+            ("cache_hit_rate", "batch_speedup", "shard_merge_advantage",
+             "sharded_join_advantage"))
         if name == "batch_speedup":
             # Wall-clock is the one noisy metric: pin its baseline so the
             # gate floor (value * (1 - tolerance)) lands on the same 1.5x

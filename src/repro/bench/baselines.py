@@ -82,34 +82,41 @@ def sys1_merge_q3(catalog: Catalog) -> PhysicalPlan:
     return b.filter(agg, col("sum_qty").gt(col("ps_availqty")))
 
 
-def sys_default_q4(catalog: Catalog) -> PhysicalPlan:
-    """Figure 14(a): SYS1/PostgreSQL — the two full outer joins use sort
-    orders with *no common prefix* ((c3,c4,c5) below, (c4,c5,c1) above),
-    so the upper join fully re-sorts its 100K-row input."""
+def sys_default_q4(catalog: Catalog, join_type: str = "full") -> PhysicalPlan:
+    """Figure 14(a): SYS1/PostgreSQL — the two joins use sort orders
+    with *no common prefix* ((c3,c4,c5) below, (c4,c5,c1) above), so the
+    upper join fully re-sorts its 100K-row input.
+
+    *join_type* defaults to the paper's FULL OUTER joins.  Note that a
+    full outer merge join guarantees no output order (NULL-padded left
+    keys), so with ``"full"`` the prefix choice cannot help the upper
+    join; the Fig-14 order-coordination effect shows with ``"inner"``.
+    """
     b = PlanBuilder(catalog)
     r1, r2, r3 = (b.table_scan(t) for t in ("r1", "r2", "r3"))
     lower = b.merge_join(
         r1, r2, [("r1_c3", "r2_c3"), ("r1_c4", "r2_c4"), ("r1_c5", "r2_c5")],
-        join_type="full")
+        join_type=join_type)
     upper = b.merge_join(
         lower, r3,
         [("r1_c4", "r3_c4"), ("r1_c5", "r3_c5"), ("r1_c1", "r3_c1")],
-        join_type="full")
+        join_type=join_type)
     return upper
 
 
-def pyro_o_q4(catalog: Catalog) -> PhysicalPlan:
-    """Figure 14(b): both joins share the (c4, c5) prefix, so the upper
-    join needs only a partial sort of the lower join's output."""
+def pyro_o_q4(catalog: Catalog, join_type: str = "full") -> PhysicalPlan:
+    """Figure 14(b): both joins share the (c4, c5) prefix, so (for
+    order-propagating joins) the upper join needs only a partial sort of
+    the lower join's output."""
     b = PlanBuilder(catalog)
     r1, r2, r3 = (b.table_scan(t) for t in ("r1", "r2", "r3"))
     lower = b.merge_join(
         r1, r2, [("r1_c4", "r2_c4"), ("r1_c5", "r2_c5"), ("r1_c3", "r2_c3")],
-        join_type="full")
+        join_type=join_type)
     upper = b.merge_join(
         lower, r3,
         [("r1_c4", "r3_c4"), ("r1_c5", "r3_c5"), ("r1_c1", "r3_c1")],
-        join_type="full")
+        join_type=join_type)
     return upper
 
 

@@ -33,6 +33,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..optimizer.volcano import Optimizer
 
 
+def merge_join_permutation(plan_node: "PhysicalPlan") -> SortOrder:
+    """The key permutation a merge-join plan node was built with.
+
+    Read from the predicate's pair order (position *i* of the sort keys
+    is pair *i*), not from ``plan_node.order`` — a FULL OUTER merge join
+    guarantees no output order (NULL-padded left keys), yet still has a
+    permutation phase-2 refinement can rework.
+    """
+    predicate = plan_node.arg("predicate")
+    if predicate is not None:
+        return SortOrder(predicate.left_columns)
+    return plan_node.order
+
+
 def collect_merge_join_tree(plan: "PhysicalPlan") -> Optional[OrderTreeNode]:
     """Contract a physical plan to its merge-join skeleton.
 
@@ -51,7 +65,8 @@ def collect_merge_join_tree(plan: "PhysicalPlan") -> Optional[OrderTreeNode]:
         return found
 
     def build(plan_node: "PhysicalPlan") -> Optional[OrderTreeNode]:
-        tree_node = OrderTreeNode(counter[0], frozenset(plan_node.order),
+        tree_node = OrderTreeNode(counter[0],
+                                  frozenset(merge_join_permutation(plan_node)),
                                   payload=plan_node)
         counter[0] += 1
         child_joins: list["PhysicalPlan"] = []
@@ -79,7 +94,7 @@ def free_attributes(plan_node: "PhysicalPlan", favorable: FavorableOrders,
                     eq) -> tuple[SortOrder, frozenset[str]]:
     """``(p_i ∧ q_i, f_i)`` for one merge-join plan node."""
     logical: Optional[Join] = plan_node.arg("logical")
-    perm: SortOrder = plan_node.order
+    perm: SortOrder = merge_join_permutation(plan_node)
     best_prefix = EMPTY_ORDER
     if logical is not None:
         for source in (logical.left, logical.right):

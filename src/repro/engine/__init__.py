@@ -1,6 +1,12 @@
 """Batch-vectorized Volcano-style execution engine with simulated block I/O."""
 
-from .aggregates import HashAggregate, SortAggregate
+from .aggregates import (
+    AGGREGATE_COMBINERS,
+    HashAggregate,
+    SortAggregate,
+    SortedGroupCombine,
+    combinable,
+)
 from .basic import Compute, Filter, Limit, PartialSort, Project, Sort, TopK
 from .batch import (
     DEFAULT_BATCH_SIZE,
@@ -21,6 +27,7 @@ from .context import (
 from .exchange import (
     ExchangeUnion,
     MergeExchange,
+    partitions_disjoint_on,
     push_sorts_below_exchange,
     shard_scans,
     with_exchange_workers,
@@ -32,9 +39,11 @@ from .lowering import operators_from_plan
 from .scans import (
     ClusteringIndexScan,
     CoveringIndexScan,
+    RangePartitionScan,
     RowSource,
     ShardedScan,
     TableScan,
+    range_shardable,
     shard_bounds,
     shardable,
 )
@@ -42,6 +51,7 @@ from .sets import Dedup, HashDedup, MergeUnion, UnionAll
 from .sorting import merge_sorted_streams, mrs_sort, sort_stream, srs_sort
 
 __all__ = [
+    "AGGREGATE_COMBINERS",
     "BatchBuilder",
     "BatchedExecutor",
     "BlockCharger",
@@ -67,24 +77,29 @@ __all__ = [
     "Operator",
     "PartialSort",
     "Project",
+    "RangePartitionScan",
     "RowBatch",
     "RowSource",
     "ShardedScan",
     "Sort",
     "SortAggregate",
     "SortMetrics",
+    "SortedGroupCombine",
     "TableScan",
     "TopK",
     "UnionAll",
     "batches_of",
     "collect_rows",
+    "combinable",
     "flatten_batches",
     "key_function",
     "merge_sorted_streams",
     "mrs_sort",
     "null_safe_wrap",
     "operators_from_plan",
+    "partitions_disjoint_on",
     "push_sorts_below_exchange",
+    "range_shardable",
     "shard_bounds",
     "shard_scans",
     "shardable",

@@ -11,6 +11,12 @@
 * :class:`HashAggregate` — orderless fallback; charges spill I/O when
   the group table exceeds memory (which is why PostgreSQL's hash
   aggregate was the wrong pick for Query 3).
+
+* :class:`SortedGroupCombine` — the final-combine stage of a *sharded*
+  aggregation: per-shard partial aggregates arrive key-sorted (gathered
+  by a :class:`~repro.engine.exchange.MergeExchange`), and groups split
+  across shard boundaries are folded back together with the aggregate's
+  combiner (``sum`` of partial sums/counts, ``min`` of partial minima, …).
 """
 
 from __future__ import annotations
@@ -18,10 +24,27 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
-from ..expr.aggregates import AggSpec, aggregate_output_schema
+from ..expr.aggregates import AGGREGATES, AggSpec, aggregate_output_schema
 from .batch import BatchBuilder, RowBatch, batches_of
 from .context import ExecutionContext
 from .iterators import Operator, null_safe_wrap
+
+#: Aggregates whose partials combine exactly: the combiner applied to
+#: per-shard results equals the aggregate over the whole group.  ``avg``
+#: is deliberately absent (it would need a sum+count decomposition), so
+#: the optimizer only shards aggregations it can recombine bit-exactly.
+AGGREGATE_COMBINERS: dict[str, str] = {
+    "sum": "sum",
+    "count": "sum",
+    "count_star": "sum",
+    "min": "min",
+    "max": "max",
+}
+
+
+def combinable(aggregates: Iterable[AggSpec]) -> bool:
+    """Whether every aggregate in the list has an exact combiner."""
+    return all(spec.func in AGGREGATE_COMBINERS for spec in aggregates)
 
 
 class SortAggregate(Operator):
@@ -120,6 +143,89 @@ class SortAggregate(Operator):
 
     def details(self) -> str:
         aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"by {self.group_order}: {aggs}"
+
+
+class SortedGroupCombine(Operator):
+    """Fold key-sorted *partial* aggregate rows into final groups.
+
+    The input schema is an aggregate output schema (group columns first,
+    then one column per aggregate) whose rows are per-shard partials,
+    sorted/grouped on ``group_order``.  Adjacent rows sharing a group key
+    — a group that straddled a shard boundary — are combined with each
+    aggregate's combiner (:data:`AGGREGATE_COMBINERS`); a group entirely
+    inside one shard passes through unchanged.  Output preserves the
+    input's order and emits exactly one row per group, so the whole
+    per-shard-aggregate → merge → combine pipeline is row-identical to a
+    single aggregation over the merged input.
+    """
+
+    name = "SortedCombine"
+
+    def __init__(self, child: Operator, group_order: SortOrder,
+                 group_columns: Sequence[str],
+                 aggregates: Sequence[AggSpec]) -> None:
+        group_columns = list(group_columns)
+        if not set(group_order) <= set(group_columns):
+            raise ValueError("group_order must be a subset of group_columns")
+        missing = [spec.func for spec in aggregates
+                   if spec.func not in AGGREGATE_COMBINERS]
+        if missing:
+            raise ValueError(f"aggregates without an exact combiner: {missing}")
+        expected = list(group_columns) + [s.output_name for s in aggregates]
+        if list(child.schema.names) != expected:
+            raise ValueError(
+                f"combine input schema {list(child.schema.names)} does not "
+                f"match group columns + aggregate outputs {expected}")
+        super().__init__(child.schema, group_order, [child])
+        self.group_order = group_order
+        self.group_columns = group_columns
+        self.aggregates = list(aggregates)
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        child = self.children[0]
+        key_positions = self.schema.positions(list(self.group_order))
+        width = len(self.group_columns)
+        combiners = [AGGREGATES[AGGREGATE_COMBINERS[spec.func]]
+                     for spec in self.aggregates]
+
+        def stream() -> Iterator[RowBatch]:
+            out = BatchBuilder(ctx.batch_size)
+            current_key: Optional[tuple] = None
+            current_group: Optional[tuple] = None
+            states: list = []
+            for batch in child.execute_batches(ctx):
+                for row in batch.rows:
+                    key = tuple(row[i] for i in key_positions)
+                    ctx.comparisons.add()
+                    if key != current_key:
+                        if current_key is not None:
+                            emitted = out.append(current_group + tuple(
+                                f.final(s) for f, s in zip(combiners, states)))
+                            if emitted is not None:
+                                yield emitted
+                        current_key = key
+                        current_group = row[:width]
+                        states = [f.init() for f in combiners]
+                    for j, func in enumerate(combiners):
+                        value = row[width + j]
+                        if value is None and func.ignores_null:
+                            continue
+                        states[j] = func.step(states[j], value)
+            if current_key is not None:
+                emitted = out.append(current_group + tuple(
+                    f.final(s) for f, s in zip(combiners, states)))
+                if emitted is not None:
+                    yield emitted
+            tail = out.flush()
+            if tail is not None:
+                yield tail
+
+        return stream()
+
+    def details(self) -> str:
+        aggs = ", ".join(AGGREGATE_COMBINERS[s.func] + f"({s.output_name})"
+                         for s in self.aggregates)
         return f"by {self.group_order}: {aggs}"
 
 

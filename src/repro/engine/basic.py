@@ -135,10 +135,12 @@ class Sort(Operator):
 
     def _check_input_prefix(self, rows: Iterator[tuple],
                             ctx: ExecutionContext) -> Iterator[tuple]:
+        from .iterators import null_safe_wrap
+
         positions = self.schema.positions(list(self.known_prefix))
         prev: Optional[tuple] = None
         for row in rows:
-            key = tuple(row[i] for i in positions)
+            key = null_safe_wrap(tuple(row[i] for i in positions))
             if prev is not None and key < prev:
                 raise AssertionError(
                     f"Sort: input violates declared prefix {self.known_prefix}: "

@@ -37,17 +37,35 @@ from .basic import Compute, Filter, Project, Sort
 from .batch import RowBatch, batches_of, flatten_batches
 from .context import ExecutionContext
 from .iterators import Operator, assert_sorted_rows, key_function
-from .scans import ClusteringIndexScan, ShardedScan, TableScan, shardable
+from .scans import (
+    ClusteringIndexScan,
+    RangePartitionScan,
+    ShardedScan,
+    TableScan,
+    range_shardable,
+    shardable,
+)
 from .sorting import merge_sorted_streams
 
 
 def _common_contiguous_order(children: Sequence[Operator]):
     """The order preserved by concatenating *children* in sequence.
 
-    Guaranteed only when the children are consecutive contiguous shards
-    of one table (the shape :func:`shard_scans` builds); anything else
-    gets ε — concatenating independently sorted streams is not sorted.
+    Guaranteed when the children are consecutive contiguous shards of one
+    table (the shape :func:`shard_scans` builds), or the full set of
+    range partitions of a table *clustered on the partition column* (the
+    partitions then tile the clustered row sequence); anything else gets
+    ε — concatenating independently sorted streams is not sorted.
     """
+    if all(isinstance(c, RangePartitionScan) for c in children):
+        table = children[0].table  # type: ignore[attr-defined]
+        if (not table.partition_contiguous
+                or table.partitioning.num_partitions != len(children)):
+            return EMPTY_ORDER
+        for i, child in enumerate(children):
+            if child.table is not table or child.partition_index != i:  # type: ignore[attr-defined]
+                return EMPTY_ORDER
+        return children[0].output_order
     if not all(isinstance(c, TableScan) for c in children):
         return EMPTY_ORDER
     table = children[0].table  # type: ignore[attr-defined]
@@ -162,6 +180,14 @@ class MergeExchange(Operator):
         super().__init__(first, order, children)
         self.max_workers = max_workers
 
+    @property
+    def partition_disjoint(self) -> bool:
+        """Whether the children are ascending range partitions disjoint on
+        the leading merge column — concatenation is then already globally
+        sorted and the k-way heap (with its ``N·log2(k)`` comparisons) is
+        skipped entirely."""
+        return partitions_disjoint_on(self.children, self.output_order)
+
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         streams = self._shard_streams(ctx)
         if ctx.check_orders:
@@ -169,6 +195,13 @@ class MergeExchange(Operator):
             streams = [assert_sorted_rows(s, positions,
                                           f"MergeExchange input shard {i}")
                        for i, s in enumerate(streams)]
+        if self.partition_disjoint:
+            # Disjoint ascending partitions: concatenating the per-shard
+            # sorted streams is already the global order — no comparisons.
+            def concatenated() -> Iterator[tuple]:
+                for stream in streams:
+                    yield from stream
+            return batches_of(concatenated(), ctx.batch_size)
         key_fn = key_function(self.schema, self.output_order)
         merged = merge_sorted_streams(streams, key_fn, ctx)
         return batches_of(merged, ctx.batch_size)
@@ -190,6 +223,8 @@ class MergeExchange(Operator):
 
     def details(self) -> str:
         suffix = f", {self.max_workers} workers" if self.max_workers > 1 else ""
+        if self.partition_disjoint:
+            suffix += ", disjoint concat"
         return f"{len(self.children)} shards on {self.output_order}{suffix}"
 
 
@@ -207,11 +242,21 @@ def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operato
     if shard_count < 2:
         return op
     if (isinstance(op, (TableScan, ClusteringIndexScan))
-            and not isinstance(op, ShardedScan)
+            and not isinstance(op, (ShardedScan, RangePartitionScan))
             and getattr(op, "shard_count", 1) == 1
             and shardable(op.table, shard_count)):
-        shards = [ShardedScan(op.table, shard_count, i)
-                  for i in range(shard_count)]
+        # A clustered-contiguous range partitioning that matches the
+        # requested width shards along partition boundaries instead of
+        # equal row counts: the partitions tile the clustered sequence
+        # (concatenation stays exact) and a sort later pushed below the
+        # exchange can use the partition-aware (heap-free) merge.
+        if (range_shardable(op.table) and op.table.partition_contiguous
+                and op.table.partitioning.num_partitions == shard_count):
+            shards: list[Operator] = [RangePartitionScan(op.table, i)
+                                      for i in range(shard_count)]
+        else:
+            shards = [ShardedScan(op.table, shard_count, i)
+                      for i in range(shard_count)]
         return ExchangeUnion(shards, max_workers=max_workers)
     new_children = tuple(shard_scans(c, shard_count, max_workers)
                          for c in op.children)
@@ -233,6 +278,58 @@ _ORDER_PRESERVING_UNARIES = (Filter, Project, Compute)
 ORDER_PRESERVING_UNARY_OPS = tuple(cls.name for cls in _ORDER_PRESERVING_UNARIES)
 
 
+def _partition_leaf(op: Operator) -> Optional[RangePartitionScan]:
+    """The :class:`RangePartitionScan` under a chain of partition-bound
+    preserving unaries, else ``None``.
+
+    Filter/Project/Compute/Sort never move a row's partition-column value
+    outside its partition's range, and a streaming group-aggregate emits
+    group-column values taken from its input rows — so any such chain
+    over a partition scan stays within the partition's value bounds.  A
+    merge join is descended through its *left* input: output rows (and
+    LEFT OUTER padding) take their left-column values from left input
+    rows, so a left-side partition bound survives the join.
+    """
+    from .aggregates import SortAggregate
+    from .joins import MergeJoin
+
+    node = op
+    while True:
+        if (len(node.children) == 1
+                and isinstance(node, _ORDER_PRESERVING_UNARIES
+                               + (Sort, SortAggregate))):
+            node = node.children[0]
+        elif isinstance(node, MergeJoin) and node.join_type in ("inner", "left"):
+            node = node.children[0]
+        else:
+            break
+    return node if isinstance(node, RangePartitionScan) else None
+
+
+def partitions_disjoint_on(children: Sequence[Operator], order: SortOrder) -> bool:
+    """Whether *children* are ascending range partitions of one table,
+    mutually disjoint on the leading attribute of *order*.
+
+    This is the partition-aware merge condition: every row of child *i*
+    compares ≤ every row of child *i+1* on the merge key, so the gather
+    can concatenate instead of heap-merging.  Shared with the optimizer's
+    cost model via the plans it builds (the engine re-detects the shape
+    at run time, so hand-built pipelines get the same fast path).
+    """
+    if not order or len(children) < 2:
+        return False
+    leaves = [_partition_leaf(c) for c in children]
+    if any(leaf is None for leaf in leaves):
+        return False
+    table = leaves[0].table
+    if any(leaf.table is not table for leaf in leaves):
+        return False
+    indexes = [leaf.partition_index for leaf in leaves]
+    if any(b <= a for a, b in zip(indexes, indexes[1:])):
+        return False
+    return order.as_tuple[0] == table.partitioning.column
+
+
 def _exchange_under(op: Operator) -> Optional[tuple[list[Operator], "ExchangeUnion"]]:
     """The (unary path, exchange) below *op* when the subtree has the
     shard fan-out shape, else ``None``.
@@ -247,8 +344,10 @@ def _exchange_under(op: Operator) -> Optional[tuple[list[Operator], "ExchangeUni
         node = node.children[0]
     if not isinstance(node, ExchangeUnion):
         return None
-    if not all(isinstance(c, TableScan) and c.shard_count > 1
-               for c in node.children):
+    sharded = all(isinstance(c, TableScan) and c.shard_count > 1
+                  for c in node.children)
+    ranged = all(isinstance(c, RangePartitionScan) for c in node.children)
+    if not (sharded or ranged):
         return None
     return path, node
 
@@ -266,15 +365,11 @@ def _rebuild_path(path: Sequence[Operator], leaf: Operator) -> Operator:
     return node
 
 
-def _sort_input_stats(scan: TableScan, path: Sequence[Operator]):
-    """Estimated statistics of the sort's input: the scan table's stats
-    carried through the unary path (filter selectivities applied,
-    projections narrowing the row width) — the same derivation the
-    optimizer's candidate plans carry, so the two decisions agree even
-    below selective filters."""
-    from ..storage.statistics import StatsView
-
-    stats = StatsView.of_table(scan.table.schema, scan.table.stats)
+def _derive_chain(stats, path: Sequence[Operator]):
+    """Carry a scan-level :class:`StatsView` through the unary path
+    (filter selectivities applied, projections narrowing the row width) —
+    the same derivation the optimizer's candidate plans carry, so the two
+    decisions agree even below selective filters."""
     for op in reversed(path):  # innermost (closest to the exchange) first
         if isinstance(op, Filter):
             stats = stats.scaled(op.predicate.selectivity(stats))
@@ -285,15 +380,42 @@ def _sort_input_stats(scan: TableScan, path: Sequence[Operator]):
     return stats
 
 
-def _merge_beats_post_union(sort: Sort, scan: TableScan,
+def _sort_input_stats(scan: Operator, path: Sequence[Operator]):
+    """Estimated statistics of the sort's input (whole stream)."""
+    from ..storage.statistics import StatsView
+
+    return _derive_chain(StatsView.of_table(scan.table.schema, scan.table.stats),
+                         path)
+
+
+def _per_shard_input_stats(scan: Operator, path: Sequence[Operator],
+                           shard_count: int):
+    """Per-shard statistics of the sort's input, measured from the actual
+    shard/partition boundaries when the table is materialised (``None``
+    falls back to the uniform ``scaled(1/k)`` model)."""
+    from ..storage.statistics import StatsView
+
+    table = scan.table
+    if isinstance(scan, RangePartitionScan):
+        per_table = table.partition_stats()
+    else:
+        per_table = table.shard_stats(shard_count)
+    if per_table is None:
+        return None
+    return [_derive_chain(StatsView.of_table(table.schema, ts), path)
+            for ts in per_table]
+
+
+def _merge_beats_post_union(sort: Sort, scan: Operator,
                             path: Sequence[Operator], shard_count: int,
                             params) -> bool:
     """Cost-based pushdown decision, mirroring the optimizer's model.
 
     Uses the exact same ``coe`` / ``sharded_coe`` formulas (and the same
     tie-break) the volcano search applies, over statistics derived along
-    the unary path, so the engine-level rewrite and the optimizer can
-    never pull in opposite directions.
+    the unary path — fed by measured per-shard/per-partition distinct and
+    row counts where available — so the engine-level rewrite and the
+    optimizer can never pull in opposite directions.
     """
     # Local imports: the engine package must stay importable without
     # dragging the optimizer in at module-import time.
@@ -302,10 +424,15 @@ def _merge_beats_post_union(sort: Sort, scan: TableScan,
     stats = _sort_input_stats(scan, path)
     model = CostModel(params)
     partial = sort.algorithm != "srs"
+    disjoint = (isinstance(scan, RangePartitionScan) and sort.output_order
+                and sort.output_order.as_tuple[0] == scan.partitioning.column)
     post_union = model.coe(stats, sort.known_prefix, sort.output_order,
                            partial_enabled=partial)
     sharded = model.sharded_coe(stats, sort.known_prefix, sort.output_order,
-                                shard_count, partial_enabled=partial)
+                                shard_count, partial_enabled=partial,
+                                shard_stats=_per_shard_input_stats(
+                                    scan, path, shard_count),
+                                disjoint_merge=bool(disjoint))
     return prefer_sharded(sharded, post_union)
 
 
@@ -328,7 +455,7 @@ def push_sorts_below_exchange(op: Operator, params=None) -> Operator:
                 from ..storage.catalog import SystemParameters
                 params = SystemParameters()
             scan = exchange.children[0]
-            assert isinstance(scan, TableScan)
+            assert isinstance(scan, (TableScan, RangePartitionScan))
             if _merge_beats_post_union(op, scan, path, len(exchange.children),
                                        params):
                 shards = [

@@ -88,7 +88,12 @@ class MergeJoin(Operator):
             if r not in right.schema:
                 raise ValueError(f"merge join: right column {r!r} missing")
         schema = left.schema.concat(right.schema)
-        order = SortOrder(predicate.left_columns)
+        # A FULL OUTER merge join pads *left* key columns of unmatched
+        # right rows with NULLs, interleaved wherever the right key falls
+        # — under NULLS FIRST ordering the output is not sorted on the
+        # left permutation, so no order may be guaranteed.
+        order = (EMPTY_ORDER if join_type == "full"
+                 else SortOrder(predicate.left_columns))
         super().__init__(schema, order, [left, right])
         self.predicate = predicate
         self.join_type = join_type

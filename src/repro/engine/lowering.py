@@ -8,6 +8,7 @@ op                     args
 =====================  ==========================================================
 ``TableScan``          ``table`` (name)
 ``ShardedScan``        ``table``, ``shard_count``, ``shard_index``
+``RangePartitionScan``  ``table``, ``partition_index``
 ``ExchangeUnion``      n-ary children; ``max_workers`` (optional)
 ``MergeExchange``      n-ary children; merge order = plan.order; ``max_workers``
 ``ClusteringIndexScan``  ``table``
@@ -21,6 +22,7 @@ op                     args
 ``HashJoin``           ``predicate``, ``join_type``
 ``NestedLoopsJoin``    ``predicate`` (optional), ``residual`` (optional)
 ``SortAggregate``      group order = plan.order; ``group_columns``, ``aggregates``
+``SortedCombine``      group order = plan.order; ``group_columns``, ``aggregates``
 ``HashAggregate``      ``group_columns``, ``aggregates``
 ``MergeUnion``         order = plan.order
 ``UnionAll``           —
@@ -35,12 +37,18 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
-from .aggregates import HashAggregate, SortAggregate
+from .aggregates import HashAggregate, SortAggregate, SortedGroupCombine
 from .basic import Compute, Filter, Limit, Project, Sort
 from .exchange import ExchangeUnion, MergeExchange
 from .iterators import Operator
 from .joins import HashJoin, MergeJoin, NestedLoopsJoin
-from .scans import ClusteringIndexScan, CoveringIndexScan, ShardedScan, TableScan
+from .scans import (
+    ClusteringIndexScan,
+    CoveringIndexScan,
+    RangePartitionScan,
+    ShardedScan,
+    TableScan,
+)
 from .sets import Dedup, HashDedup, MergeUnion, UnionAll
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,6 +65,9 @@ def operators_from_plan(plan, catalog: "Catalog") -> Operator:
     if op == "ShardedScan":
         return ShardedScan(catalog.table(plan.arg("table")),
                            plan.arg("shard_count"), plan.arg("shard_index"))
+    if op == "RangePartitionScan":
+        return RangePartitionScan(catalog.table(plan.arg("table")),
+                                  plan.arg("partition_index"))
     if op == "ExchangeUnion":
         return ExchangeUnion(children, plan.arg("max_workers", 1))
     if op == "MergeExchange":
@@ -93,6 +104,10 @@ def operators_from_plan(plan, catalog: "Catalog") -> Operator:
         return SortAggregate(children[0], plan.order,
                              list(plan.arg("aggregates")),
                              group_columns=list(plan.arg("group_columns")))
+    if op == "SortedCombine":
+        return SortedGroupCombine(children[0], plan.order,
+                                  list(plan.arg("group_columns")),
+                                  list(plan.arg("aggregates")))
     if op == "HashAggregate":
         return HashAggregate(children[0], list(plan.arg("group_columns")),
                              list(plan.arg("aggregates")))

@@ -52,6 +52,14 @@ def shardable(table: Table, shard_count: int) -> bool:
             and len(table.rows) >= shard_count)
 
 
+def range_shardable(table: Table) -> bool:
+    """Whether *table* supports a value-range fan-out: a declared
+    :class:`~repro.storage.table.RangePartitioning` over materialised
+    rows.  The fan-out width is fixed by the spec, not by the caller."""
+    return (table.is_materialized and table.partitioning is not None
+            and table.partitioning.num_partitions >= 2)
+
+
 def shard_bounds(num_rows: int, shard_count: int, shard_index: int) -> tuple[int, int]:
     """Global row range ``[lo, hi)`` of one contiguous shard."""
     if shard_count < 1:
@@ -122,6 +130,70 @@ class ShardedScan(TableScan):
             raise ValueError("ShardedScan needs shard_count >= 2; "
                              "use TableScan for an unsharded scan")
         super().__init__(table, shard_count, shard_index)
+
+
+class RangePartitionScan(Operator):
+    """Scan one value-range partition of a table.
+
+    When the table is clustered on the partition column the partition is
+    a contiguous row range and the scan slices it directly, charging only
+    that slice's blocks (like a :class:`ShardedScan` with value-derived
+    bounds).  Otherwise the partition's rows are scattered, so the scan
+    reads **every** data block and filters — the realistic cost of
+    range-sharding a table whose physical layout doesn't match the spec,
+    and the reason the optimizer prices the two layouts differently.
+
+    Either way the output preserves the table's clustering order (a
+    filter keeps relative order), and consecutive partitions are disjoint
+    on the partition column — the property the partition-aware
+    :class:`~repro.engine.exchange.MergeExchange` exploits.
+    """
+
+    name = "RangePartitionScan"
+
+    def __init__(self, table: Table, partition_index: int) -> None:
+        part = table.partitioning
+        if part is None:
+            raise ValueError(f"table {table.name} has no range partitioning")
+        if not 0 <= partition_index < part.num_partitions:
+            raise ValueError(f"partition_index {partition_index} outside "
+                             f"[0, {part.num_partitions})")
+        super().__init__(table.schema, table.clustering_order)
+        self.table = table
+        self.partitioning = part
+        self.partition_index = partition_index
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        rows = self.table.rows
+        per_block = ctx.rows_per_block(self.schema.row_bytes)
+        bounds = self.table.partition_row_bounds(self.partition_index)
+        if bounds is not None:
+            lo, hi = bounds
+            return _charged_slices(rows, lo, hi, per_block, ctx)
+        return self._filtered_scan(rows, per_block, ctx)
+
+    def _filtered_scan(self, rows: list[tuple], per_block: int,
+                       ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Full scan keeping only this partition's rows: every block is
+        read (and charged), matching rows re-batch as they are found."""
+        charger = BlockCharger(ctx.io, per_block, "scan")
+        position = self.table.schema.positions([self.partitioning.column])[0]
+        index_of = self.partitioning.partition_index
+        target = self.partition_index
+        batch_size = ctx.batch_size
+        for start in range(0, len(rows), batch_size):
+            end = min(start + batch_size, len(rows))
+            charger.charge_range(start, end)
+            kept = [row for row in rows[start:end]
+                    if index_of(row[position]) == target]
+            if kept:
+                yield RowBatch(kept)
+
+    def details(self) -> str:
+        part = self.partitioning
+        layout = "clustered" if self.table.partition_contiguous else "filtered"
+        return (f"{self.table.name} partition {self.partition_index}/"
+                f"{part.num_partitions} on {part.column} ({layout})")
 
 
 class ClusteringIndexScan(Operator):

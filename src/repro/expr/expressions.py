@@ -170,7 +170,16 @@ class BinOp(Expression):
     def compile(self, schema: Schema) -> RowFn:
         fn = _BIN_OPS[self.op]
         lf, rf = self.left.compile(schema), self.right.compile(schema)
-        return lambda row: fn(lf(row), rf(row))
+
+        def apply(row: tuple):
+            # SQL arithmetic: NULL operands propagate (outer-join padding
+            # flows through computed columns as NULL, not a TypeError).
+            left, right = lf(row), rf(row)
+            if left is None or right is None:
+                return None
+            return fn(left, right)
+
+        return apply
 
     def __repr__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
@@ -205,7 +214,17 @@ class Comparison(Predicate):
     def compile(self, schema: Schema) -> RowFn:
         fn = _CMP_OPS[self.op]
         lf, rf = self.left.compile(schema), self.right.compile(schema)
-        return lambda row: fn(lf(row), rf(row))
+
+        def apply(row: tuple) -> bool:
+            # SQL three-valued logic collapsed for filtering: a NULL
+            # operand makes the comparison UNKNOWN, which WHERE rejects
+            # (outer-join padding must not crash downstream filters).
+            left, right = lf(row), rf(row)
+            if left is None or right is None:
+                return False
+            return fn(left, right)
+
+        return apply
 
     def selectivity(self, stats) -> float:
         if self.op == "=":

@@ -208,7 +208,11 @@ class Annotator:
     # -- equivalence classes --------------------------------------------------------
     def _collect_equivalences(self, expr: LogicalExpr) -> None:
         for node in expr.walk():
-            if isinstance(node, Join):
+            # Only INNER join equalities are true equivalences: an outer
+            # join pads one side's columns with NULLs on unmatched rows,
+            # so ``l = r`` does not hold row-by-row and orders must not
+            # transfer across the pair (mirrors query_fds).
+            if isinstance(node, Join) and node.join_type == "inner":
                 for l, r in node.predicate.pairs:
                     self.eq.add_equivalence(l, r)
 

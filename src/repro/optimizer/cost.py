@@ -25,7 +25,7 @@ constant is unpublished; see DESIGN.md §6).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.sort_order import (
     AttributeEquivalence,
@@ -99,36 +99,103 @@ class CostModel:
         seg_blocks = max(1.0, B / segments)
         return segments * self.full_sort(seg_rows, seg_blocks)
 
-    def merge_exchange(self, num_rows: float, shard_count: int) -> float:
+    def merge_exchange(self, num_rows: float, shard_count: int,
+                       disjoint: bool = False) -> float:
         """CPU cost of a k-way order-preserving merge of shard streams:
         each of the N output rows pays one heap step of ``log2(k)``
         comparisons.  No I/O — the merge consumes the shard streams
-        directly."""
-        if shard_count <= 1 or num_rows <= 0:
+        directly.  *disjoint* marks streams from range partitions that
+        are mutually disjoint on the leading merge attribute: the gather
+        concatenates instead of heap-merging and costs nothing (see
+        :meth:`~repro.engine.exchange.MergeExchange.partition_disjoint`).
+        """
+        if disjoint or shard_count <= 1 or num_rows <= 0:
             return 0.0
         return self.cpu(num_rows * math.log2(shard_count))
 
     def sharded_coe(self, stats: StatsView, from_order: SortOrder,
                     to_order: SortOrder, shard_count: int,
-                    partial_enabled: bool = True) -> float:
+                    partial_enabled: bool = True,
+                    shard_stats: Optional[Sequence[StatsView]] = None,
+                    disjoint_merge: bool = False) -> float:
         """``coe`` with the enforcer pushed below a shard fan-out: *k*
-        independent enforcers over ``N/k``-row contiguous shards (each
-        inheriting the input's guaranteed order) plus the order-preserving
-        merge that gathers them.
+        independent enforcers over the shards (each inheriting the
+        input's guaranteed order) plus the order-preserving merge that
+        gathers them.
 
-        The win is an I/O phenomenon: the per-shard CPU exactly cancels
-        against the merge (``N·log2(N/k) + N·log2(k) = N·log2(N)``), but a
-        post-union sort that spills while the individual shards fit in
-        sort memory drops the entire run I/O term.
+        *shard_stats*, when given, holds the **measured** per-shard
+        statistics (actual row counts and distinct counts from the
+        shard/partition boundaries) and each shard's enforcer is priced
+        individually; otherwise the uniform ``scaled(1/k)`` approximation
+        applies to every shard.  The distinction matters under skew: a
+        uniform model can call every shard in-memory while one real
+        partition spills, or miss that skewed segment counts make the
+        per-shard partial sorts cheaper than the average suggests.
+
+        The headline win is an I/O phenomenon: the per-shard CPU exactly
+        cancels against the merge (``N·log2(N/k) + N·log2(k) =
+        N·log2(N)``), but a post-union sort that spills while the
+        individual shards fit in sort memory drops the entire run I/O
+        term.  With *disjoint_merge* the merge term vanishes too, so
+        even all-in-memory skewed partitions win on comparisons
+        (``Σ nᵢ·log2(nᵢ) < N·log2(N)``).
         """
         if shard_count <= 1:
             return self.coe(stats, from_order, to_order, partial_enabled)
         if not to_order or to_order.is_prefix_of(from_order, self.eq):
             return 0.0
-        shard_stats = stats.scaled(1.0 / shard_count)
-        per_shard = self.coe(shard_stats, from_order, to_order, partial_enabled)
-        return (shard_count * per_shard
-                + self.merge_exchange(stats.N, shard_count))
+        if shard_stats is not None:
+            per_shard = sum(self.coe(s, from_order, to_order, partial_enabled)
+                            for s in shard_stats)
+        else:
+            uniform = stats.scaled(1.0 / shard_count)
+            per_shard = shard_count * self.coe(uniform, from_order, to_order,
+                                               partial_enabled)
+        return per_shard + self.merge_exchange(stats.N, shard_count,
+                                               disjoint=disjoint_merge)
+
+    def sharded_join(self, left_shards: Sequence[StatsView], right: StatsView,
+                     out_rows: float, disjoint_merge: bool = False) -> float:
+        """Per-shard merge joins gathered by an order-preserving merge:
+        shard *i* joins its slice of the left input against the (whole,
+        broadcast — or co-partitioned slice of the) right input, and the
+        join outputs merge on the join permutation.  Join output rows are
+        apportioned to shards by their share of the left rows — measured
+        per-shard row counts make this exact for co-partitioned inputs.
+
+        The broadcast cost of replicating the right subtree into every
+        shard pipeline is **not** included here: it shows up as the right
+        plan appearing k times in the plan tree, so ``total_cost`` already
+        charges it — this formula prices only the join + merge work.
+        """
+        total_left = sum(s.N for s in left_shards) or 1.0
+        join_cpu = sum(
+            self.merge_join(s, right, out_rows * s.N / total_left)
+            for s in left_shards)
+        return join_cpu + self.merge_exchange(out_rows, len(left_shards),
+                                              disjoint=disjoint_merge)
+
+    def sharded_agg(self, shard_stats: Sequence[StatsView],
+                    group_columns: Sequence[str],
+                    disjoint_merge: bool = False) -> float:
+        """Per-shard sort aggregation under a merge, plus the final
+        combine: each shard streams its rows once, the merge gathers one
+        *partial* row per per-shard group (real per-shard distinct counts
+        — under clustering skew far fewer than ``k·D/k = D``), and the
+        combine folds boundary-straddling groups back together.
+        """
+        partial_rows = sum(s.distinct_of_set(list(group_columns))
+                           for s in shard_stats)
+        agg_cpu = sum(self.sort_aggregate(s) for s in shard_stats)
+        return (agg_cpu
+                + self.merge_exchange(partial_rows, len(shard_stats),
+                                      disjoint=disjoint_merge)
+                + self.combine_groups(partial_rows))
+
+    def combine_groups(self, partial_rows: float) -> float:
+        """Final-combine stage of a sharded aggregation: one pass over
+        the merged per-shard partial rows."""
+        return self.cpu(partial_rows)
 
     # -- scans ----------------------------------------------------------------------
     def table_scan(self, stats: StatsView) -> float:

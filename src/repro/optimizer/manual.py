@@ -134,7 +134,11 @@ class PlanBuilder:
         elif join_type == "full":
             stats = stats.with_rows(max(stats.N, left.stats.N, right.stats.N))
         schema = left.schema.concat(right.schema)
-        return make_plan("MergeJoin", schema, perm, stats,
+        # FULL OUTER pads left key columns of right-unmatched rows with
+        # NULLs mid-stream — no output order (mirrors engine/joins.py and
+        # the volcano candidates; sorts above must not be skipped).
+        out_order = EMPTY_ORDER if join_type == "full" else perm
+        return make_plan("MergeJoin", schema, out_order, stats,
                          self.cost.merge_join(left.stats, right.stats, stats.N),
                          [left, right], predicate=predicate,
                          join_type=join_type)

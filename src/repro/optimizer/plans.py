@@ -71,8 +71,14 @@ class PhysicalPlan:
             "TableScan": lambda: self.arg("table"),
             "ShardedScan": lambda: (f"{self.arg('table')} shard "
                                     f"{self.arg('shard_index')}/{self.arg('shard_count')}"),
+            "RangePartitionScan": lambda: (
+                f"{self.arg('table')} partition "
+                f"{self.arg('partition_index')}/{self.arg('partition_count')}"),
             "ExchangeUnion": lambda: f"{len(self.children)} shards",
-            "MergeExchange": lambda: f"{len(self.children)} shards on {self.order}",
+            "MergeExchange": lambda: (
+                f"{len(self.children)} shards on {self.order}"
+                + (", disjoint concat" if self.arg("disjoint") else "")),
+            "SortedCombine": lambda: f"combine by {self.order}",
             "ClusteringIndexScan": lambda: f"{self.arg('table')} {self.order}",
             "CoveringIndexScan": lambda: f"{self.arg('table')}.{self.arg('index')} {self.order}",
             "Filter": lambda: f"{self.arg('predicate')}",

@@ -171,6 +171,11 @@ class SessionMetrics:
     #: sort because the cost model said the merge would not pay off.
     shard_merge_plans: int = 0
     post_union_sort_plans: int = 0
+    #: Fresh plans that shard a *join* (per-shard merge joins under an
+    #: exchange gather — broadcast or co-partitioned) and plans that
+    #: shard an *aggregation* (per-shard aggregates + final combine).
+    sharded_join_plans: int = 0
+    sharded_agg_plans: int = 0
 
 
 class PreparedQuery:
@@ -287,7 +292,15 @@ class QuerySession:
         self.metrics.optimize_seconds += time.perf_counter() - start
         self.metrics.optimizations += 1
         if parallelism > 1:
-            if plan.find_all("MergeExchange"):
+            gathers = plan.find_all("MergeExchange")
+            if any(c.op == "MergeJoin" for g in gathers for c in g.children) \
+                    or any(c.op in ("MergeJoin", "HashJoin")
+                           for g in plan.find_all("ExchangeUnion")
+                           for c in g.children):
+                self.metrics.sharded_join_plans += 1
+            if plan.find_all("SortedCombine"):
+                self.metrics.sharded_agg_plans += 1
+            if gathers:
                 self.metrics.shard_merge_plans += 1
             elif any(shardable_enforcement_input(node.children[0], self.catalog,
                                                  parallelism)
@@ -337,6 +350,8 @@ class QuerySession:
             "optimize_seconds": self.metrics.optimize_seconds,
             "shard_merge_plans": self.metrics.shard_merge_plans,
             "post_union_sort_plans": self.metrics.post_union_sort_plans,
+            "sharded_join_plans": self.metrics.sharded_join_plans,
+            "sharded_agg_plans": self.metrics.sharded_agg_plans,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_ttl_seconds": self.cache.ttl_seconds,

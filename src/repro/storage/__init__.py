@@ -2,8 +2,15 @@
 
 from .catalog import Catalog, SystemParameters
 from .schema import Column, FunctionalDependency, Schema
-from .statistics import DEFAULT_BLOCK_SIZE, StatsView, TableStats, blocks_for
-from .table import Index, Table
+from .statistics import (
+    DEFAULT_BLOCK_SIZE,
+    StatsView,
+    TableStats,
+    blocks_for,
+    measure_partitions,
+    measure_shards,
+)
+from .table import Index, RangePartitioning, Table
 
 __all__ = [
     "Catalog",
@@ -11,10 +18,13 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "FunctionalDependency",
     "Index",
+    "RangePartitioning",
     "Schema",
     "StatsView",
     "SystemParameters",
     "Table",
     "TableStats",
     "blocks_for",
+    "measure_partitions",
+    "measure_shards",
 ]

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Optional
 from ..core.sort_order import SortOrder
 from .schema import FunctionalDependency, Schema
 from .statistics import DEFAULT_BLOCK_SIZE, TableStats
-from .table import Index, Table
+from .table import Index, RangePartitioning, Table
 
 
 @dataclass
@@ -104,10 +104,12 @@ class Catalog:
         clustering_order: SortOrder = SortOrder(),
         stats: Optional[TableStats] = None,
         primary_key: Optional[Iterable[str]] = None,
+        partitioning: Optional["RangePartitioning"] = None,
     ) -> Table:
         return self.add_table(
             Table(name, schema, rows, clustering_order, stats,
-                  tuple(primary_key) if primary_key else None)
+                  tuple(primary_key) if primary_key else None,
+                  partitioning=partitioning)
         )
 
     def add_index(self, index: Index) -> Index:

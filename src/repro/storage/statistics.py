@@ -72,6 +72,41 @@ class TableStats:
         return TableStats(num_rows=len(rows), distinct=distinct)
 
 
+def measure_shards(rows: list[tuple], schema: Schema,
+                   shard_count: int) -> list[TableStats]:
+    """Exact per-shard statistics of *shard_count* contiguous row ranges.
+
+    Shard *i* covers rows ``[i·n/k, (i+1)·n/k)`` — the same arithmetic as
+    :func:`repro.engine.scans.shard_bounds` — so the optimizer's
+    shard-aware placement is priced with the distinct counts and row
+    counts each shard will *actually* see, not the uniform ``scaled(1/k)``
+    approximation (which is exact on row counts for contiguous shards but
+    can be wildly wrong on distincts under clustering skew).
+    """
+    n = len(rows)
+    out = []
+    for i in range(shard_count):
+        lo = i * n // shard_count
+        hi = (i + 1) * n // shard_count
+        out.append(TableStats.measure(rows[lo:hi], schema))
+    return out
+
+
+def measure_partitions(rows: list[tuple], schema: Schema, position: int,
+                       index_of, num_partitions: int) -> list[TableStats]:
+    """Exact per-partition statistics under a value-range partitioning.
+
+    ``index_of(value)`` maps a partition-column value (at tuple
+    *position*) to its partition index.  Unlike contiguous shards, range
+    partitions skew on *row counts* too, which is what makes measured
+    statistics load-bearing for the placement decision.
+    """
+    buckets: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    for row in rows:
+        buckets[index_of(row[position])].append(row)
+    return [TableStats.measure(bucket, schema) for bucket in buckets]
+
+
 class StatsView:
     """Derived statistics of an intermediate result (immutable).
 

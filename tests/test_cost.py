@@ -145,3 +145,45 @@ class TestOperatorCosts:
         cm = make()
         assert cm.cpu_sort(1000, segments=100) < cm.cpu_sort(1000, segments=1)
         assert cm.cpu_sort(1) == 0.0
+
+
+class TestShardedFormulas:
+    """The closed-form sharded formulas must equal the per-node pricing
+    the volcano builders materialise plans with — the drift guard for the
+    two statements of the same math."""
+
+    def test_sharded_coe_measured_equals_per_shard_sum(self):
+        cm = make()
+        views = [stats(n) for n in (900, 500, 400, 200)]
+        whole = stats(2000)
+        target = SortOrder(["a"])
+        per_shard = sum(cm.coe(v, EMPTY_ORDER, target) for v in views)
+        assert cm.sharded_coe(whole, EMPTY_ORDER, target, 4,
+                              shard_stats=views) == pytest.approx(
+            per_shard + cm.merge_exchange(2000, 4))
+        # Disjoint partitions drop the merge term entirely.
+        assert cm.sharded_coe(whole, EMPTY_ORDER, target, 4,
+                              shard_stats=views, disjoint_merge=True) == \
+            pytest.approx(per_shard)
+
+    def test_sharded_join_equals_per_shard_merge_joins(self):
+        cm = make()
+        views = [stats(n) for n in (1000, 600, 300, 100)]
+        right = stats(50)
+        out_rows = 800.0
+        total = sum(v.N for v in views)
+        expected = sum(cm.merge_join(v, right, out_rows * v.N / total)
+                       for v in views) + cm.merge_exchange(out_rows, 4)
+        assert cm.sharded_join(views, right, out_rows) == pytest.approx(expected)
+        assert cm.sharded_join(views, right, out_rows, disjoint_merge=True) \
+            == pytest.approx(expected - cm.merge_exchange(out_rows, 4))
+
+    def test_sharded_agg_equals_per_shard_aggs_plus_combine(self):
+        cm = make()
+        views = [stats(n, {"a": d}) for n, d in
+                 ((1000, 10), (600, 40), (300, 300), (100, 5))]
+        partial_rows = sum(v.distinct_of_set(["a"]) for v in views)
+        expected = (sum(cm.sort_aggregate(v) for v in views)
+                    + cm.merge_exchange(partial_rows, 4)
+                    + cm.combine_groups(partial_rows))
+        assert cm.sharded_agg(views, ["a"]) == pytest.approx(expected)

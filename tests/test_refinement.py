@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.refinement import collect_merge_join_tree, refine_plan
+from repro.core.refinement import (
+    collect_merge_join_tree,
+    merge_join_permutation,
+    refine_plan,
+)
 from repro.core.sort_order import SortOrder, longest_common_prefix
 from repro.logical import Query
 from repro.optimizer import Optimizer
@@ -60,13 +64,23 @@ class TestCollectSkeleton:
         assert collect_merge_join_tree(plan) is None
 
 
+def inner_query4():
+    """Query 4's join chain with INNER joins: order propagates between
+    the joins, so the Figure 14 prefix-sharing effect is observable."""
+    return (Query.table("r1")
+            .join("r2", on=[("r1_c5", "r2_c5"), ("r1_c4", "r2_c4"),
+                            ("r1_c3", "r2_c3")])
+            .join("r3", on=[("r1_c1", "r3_c1"), ("r1_c4", "r3_c4"),
+                            ("r1_c5", "r3_c5")]))
+
+
 class TestRefinementEffect:
-    def test_query4_joins_share_prefix_after_refinement(self):
-        """The headline Figure 14 effect: after phase 2 the two full outer
+    def test_inner_chain_joins_share_prefix_after_refinement(self):
+        """The headline Figure 14 effect: after phase 2 the two chained
         joins share the (c4, c5) prefix."""
         cat = r_tables_stats_catalog(
             params=SystemParameters(sort_memory_blocks=250))
-        plan = Optimizer(cat, enable_hash_join=False).optimize(query4())
+        plan = Optimizer(cat, enable_hash_join=False).optimize(inner_query4())
         joins = plan.find_all("MergeJoin")
         assert len(joins) == 2
         upper, lower = joins
@@ -74,6 +88,26 @@ class TestRefinementEffect:
         assert len(shared) >= 2, (upper.order, lower.order)
         common_names = {a.split("_")[-1] for a in shared}
         assert common_names == {"c4", "c5"}
+
+    def test_query4_full_outer_joins_guarantee_no_order(self):
+        """FULL OUTER merge joins pad left key columns of unmatched right
+        rows with NULLs mid-stream, so they guarantee no output order: the
+        plan must carry an explicit sort between the chained joins instead
+        of silently relying on a violated order (regression for the bug
+        the plan-parity fuzz suite guards against).  The permutations stay
+        recoverable for refinement via the predicate pair order."""
+        cat = r_tables_stats_catalog(
+            params=SystemParameters(sort_memory_blocks=250))
+        plan = Optimizer(cat, enable_hash_join=False).optimize(query4())
+        joins = plan.find_all("MergeJoin")
+        assert len(joins) == 2
+        assert all(not j.order for j in joins)
+        assert all(len(merge_join_permutation(j)) == 3 for j in joins)
+        # The upper join's left input re-establishes order from ε.
+        upper = joins[0]
+        left_input = upper.children[0]
+        assert left_input.op == "Sort"
+        assert left_input.children[0].op == "MergeJoin"
 
     def test_refined_no_worse_all_strategies(self):
         cat = r_tables_stats_catalog(
@@ -90,8 +124,8 @@ class TestRefinementEffect:
         cat = r_tables_stats_catalog(
             params=SystemParameters(sort_memory_blocks=250))
         opt = Optimizer(cat, strategy="pyro", enable_hash_join=False)
-        refined = opt.optimize(query4(), refine=True).total_cost
-        unrefined = opt.optimize(query4(), refine=False).total_cost
+        refined = opt.optimize(inner_query4(), refine=True).total_cost
+        unrefined = opt.optimize(inner_query4(), refine=False).total_cost
         assert refined < unrefined
 
     def test_fig6_chain_recovers_shared_prefix(self, fig6_catalog):

@@ -174,3 +174,359 @@ class TestAcceptance:
         assert merge_ctx.cost_units() < post_ctx.cost_units()
         assert merge_ctx.sort_metrics.runs_created == 0   # shards fit in memory
         assert post_ctx.sort_metrics.runs_created > 0     # full sort spilled
+
+
+# -- shard-aware enforcement under joins and aggregates -----------------------------------
+import random
+
+from repro.core.sort_order import EMPTY_ORDER
+from repro.expr import col
+from repro.expr.aggregates import agg_avg, agg_sum, count_star
+from repro.optimizer.cost import CostModel, prefer_sharded
+from repro.storage import Catalog, RangePartitioning, Schema, StatsView
+
+
+def join_agg_catalog(num_rows=20_000, memory_blocks=500, c2_domain=2000,
+                     dim_rows=2000, seed=3, cpu_comparisons_per_io=200_000.0):
+    """Large synthetic ``r`` (200-byte rows, clustered on c1, c2 in a
+    bounded domain) plus a small ``dim`` keyed on that domain — the
+    sort-order-consuming join+aggregate scenario: joining on c2 needs a
+    spilling sort of r, which per-shard enforcement avoids."""
+    catalog = segmented_catalog(
+        num_rows, 100,
+        params=SystemParameters(sort_memory_blocks=memory_blocks,
+                                cpu_comparisons_per_io=cpu_comparisons_per_io))
+    rng = random.Random(seed)
+    table = catalog.table("r")
+    table._rows[:] = [(i // 100, rng.randrange(c2_domain), "p")
+                      for i in range(num_rows)]
+    table._sort_rows_by(SortOrder(["c1"]))
+    table.update_stats()
+    dim_schema = Schema.of(("d2", "int", 8), ("weight", "int", 8))
+    step = max(1, c2_domain // dim_rows)
+    catalog.create_table(
+        "dim", dim_schema,
+        rows=[(v * step, rng.randrange(10)) for v in range(dim_rows)],
+        primary_key=["d2"])
+    return catalog
+
+
+class TestShardedJoins:
+    def test_enforcer_composes_below_merge_join(self):
+        """The PR-3 enforcer win composes under a join: the join's sorted
+        left input is delivered by per-shard sorts under a MergeExchange,
+        and the aggregation above consumes the join's order."""
+        catalog = join_agg_catalog()
+        query = (Query.table("r")
+                 .join("dim", on=[("c2", "d2")])
+                 .group_by(["c2"], agg_sum(col("weight"), "w"))
+                 .order_by("c2"))
+        session = QuerySession(catalog)
+        baseline = QuerySession(catalog, shard_aware_enforcers=False)
+        prepared = session.prepare(query, parallelism=4)
+        post_union = baseline.prepare(query, parallelism=4)
+
+        merges = prepared.plan.find_all("MergeExchange")
+        assert merges and len(merges[0].children) == 4
+        assert prepared.plan.find_all("MergeJoin")
+        assert prepared.plan.find_all("SortAggregate")
+        assert prepared.total_cost < post_union.total_cost
+        assert session.stats()["shard_merge_plans"] == 1
+
+        reference = session.execute(query)
+        for batch_size in (1, 64, None):
+            assert session.execute(query, parallelism=4,
+                                   batch_size=batch_size) == reference
+        assert baseline.execute(query, parallelism=4) == reference
+
+    def test_broadcast_sharded_merge_join(self):
+        """A selective join (tiny broadcast side, output ≪ input) under
+        an expensive CPU→I/O translation: merging the join's 500-row
+        output beats merging the 20 000-row left input, so the optimizer
+        pushes the join below the exchange — per-shard MergeJoins against
+        a broadcast right side, gathered on the join permutation."""
+        catalog = join_agg_catalog(dim_rows=50,
+                                   cpu_comparisons_per_io=2_000.0)
+        query = Query.table("r").join("dim", on=[("c2", "d2")]).order_by("c2")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        merges = prepared.plan.find_all("MergeExchange")
+        assert merges and [c.op for c in merges[0].children] == ["MergeJoin"] * 4
+        # The broadcast side appears once per shard.
+        assert len(prepared.plan.find_all("TableScan")) == 4
+        assert session.stats()["sharded_join_plans"] == 1
+
+        baseline = QuerySession(catalog, shard_aware_enforcers=False)
+        assert prepared.total_cost < \
+            baseline.prepare(query, parallelism=4).total_cost
+        reference = session.execute(query)
+        assert session.execute(query, parallelism=4) == reference
+        assert session.execute(query, parallelism=4, batch_size=1,
+                               use_threads=True) == reference
+
+    def test_copartitioned_hash_join_skips_grace_spill(self):
+        """Range-co-partitioned inputs hash-join partition against
+        partition: per-partition builds fit in sort memory, so the Grace
+        partition-spill I/O of a monolithic build disappears — and FULL
+        OUTER joins (unshardable by broadcast) shard this way too."""
+        rng = random.Random(9)
+        catalog = Catalog(SystemParameters(sort_memory_blocks=100))
+        bounds = (2000, 4000, 6000)
+        for prefix in ("a", "b"):
+            schema = Schema.of((f"{prefix}_k", "int", 8),
+                               (f"{prefix}_v", "int", 8),
+                               (f"{prefix}_pad", "str", 180))
+            rows = [(rng.randrange(8000), rng.randrange(100), "x")
+                    for _ in range(8000)]
+            catalog.create_table(
+                f"t{prefix}", schema, rows=rows,
+                clustering_order=SortOrder([f"{prefix}_k"]),
+                partitioning=RangePartitioning(f"{prefix}_k", bounds))
+        query = Query.table("ta").full_outer_join("tb", on=[("a_k", "b_k")])
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        unions = prepared.plan.find_all("ExchangeUnion")
+        assert unions and [c.op for c in unions[0].children] == ["HashJoin"] * 4
+        assert all(c.children[0].op == "RangePartitionScan"
+                   for c in unions[0].children)
+        assert session.stats()["sharded_join_plans"] == 1
+
+        key = lambda row: tuple((v is not None, v if v is not None else 0)
+                                for v in row)
+        reference = sorted(session.execute(query), key=key)
+        for batch_size in (1, None):
+            got = session.execute(query, parallelism=4, batch_size=batch_size)
+            assert sorted(got, key=key) == reference
+        got = session.execute(query, parallelism=4, use_threads=True)
+        assert sorted(got, key=key) == reference
+
+
+class TestShardedAggregates:
+    def test_per_shard_aggregation_with_final_combine(self):
+        """Groups ≪ rows: aggregating below the exchange merges one
+        partial row per per-shard group instead of every input row, and a
+        SortedCombine folds boundary-straddling groups exactly."""
+        catalog = join_agg_catalog(c2_domain=200, dim_rows=200)
+        query = Query.table("r").group_by(
+            ["c2"], count_star("n"), agg_sum(col("c1"), "s")).order_by("c2")
+        session = QuerySession(catalog, enable_hash_aggregate=False)
+        prepared = session.prepare(query, parallelism=4)
+        combines = prepared.plan.find_all("SortedCombine")
+        assert len(combines) == 1
+        merge = combines[0].children[0]
+        assert merge.op == "MergeExchange"
+        assert [c.op for c in merge.children] == ["SortAggregate"] * 4
+        assert session.stats()["sharded_agg_plans"] == 1
+
+        reference = session.execute(query)
+        for batch_size in (1, 64, None):
+            assert session.execute(query, parallelism=4,
+                                   batch_size=batch_size) == reference
+        assert session.execute(query, parallelism=4,
+                               use_threads=True) == reference
+        # Recombination is exact: totals equal the table row count.
+        assert sum(row[1] for row in reference) == 20_000
+
+    def test_non_combinable_aggregate_stays_unsharded(self):
+        """avg has no exact combiner, so the aggregation itself is never
+        sharded (the enforcer below it still may be)."""
+        catalog = join_agg_catalog(c2_domain=200, dim_rows=200)
+        query = Query.table("r").group_by(
+            ["c2"], agg_avg(col("c1"), "m")).order_by("c2")
+        session = QuerySession(catalog, enable_hash_aggregate=False)
+        prepared = session.prepare(query, parallelism=4)
+        assert prepared.plan.find_all("SortedCombine") == []
+        assert session.stats()["sharded_agg_plans"] == 0
+        reference = session.execute(query)
+        assert session.execute(query, parallelism=4) == reference
+
+
+def skewed_range_catalog(seed=17, memory_blocks=150):
+    """8000 × 200-byte rows (400 blocks — a post-union SRS spills) with a
+    range partitioning whose first partition holds ~90% of the rows: the
+    regime where uniform ``scaled(1/k)`` per-shard estimates and measured
+    per-partition statistics disagree about spilling."""
+    rng = random.Random(seed)
+    schema = Schema.of(("k", "int", 8), ("v", "int", 8), ("pad", "str", 184))
+    rows = []
+    for i in range(8000):
+        k = rng.randrange(0, 900) if i % 10 else rng.randrange(900, 1000)
+        rows.append((k, rng.randrange(1_000_000), "p"))
+    catalog = Catalog(SystemParameters(sort_memory_blocks=memory_blocks))
+    catalog.create_table("t", schema, rows=rows,
+                         clustering_order=SortOrder(["k"]),
+                         partitioning=RangePartitioning("k", (900, 940, 970)))
+    return catalog
+
+
+class TestPerShardStatistics:
+    def test_uniform_estimate_flips_placement_measured_fixes_it(self):
+        """The satellite regression: under the uniform ``scaled(1/k)``
+        model the skewed range fan-out looks identical to contiguous
+        shards *minus* the heap merge (its partitions are disjoint on the
+        leading sort attribute), so the uniform estimate picks range
+        partitions — whose dominant partition actually spills.  Measured
+        per-partition row counts expose the spill, the optimizer keeps
+        contiguous equal shards, and execution confirms nothing spills."""
+        catalog = skewed_range_catalog()
+        table = catalog.table("t")
+        model = CostModel(catalog.params)
+        stats = StatsView.of_table(table.schema, table.stats)
+        target = SortOrder(["k", "v"])
+        clustered = SortOrder(["k"])
+
+        range_uniform = model.sharded_coe(stats, clustered, target, 4,
+                                          partial_enabled=False,
+                                          disjoint_merge=True)
+        contiguous_uniform = model.sharded_coe(stats, clustered, target, 4,
+                                               partial_enabled=False)
+        partition_views = [StatsView.of_table(table.schema, s)
+                           for s in table.partition_stats()]
+        range_measured = model.sharded_coe(stats, clustered, target, 4,
+                                           partial_enabled=False,
+                                           shard_stats=partition_views,
+                                           disjoint_merge=True)
+        shard_views = [StatsView.of_table(table.schema, s)
+                      for s in table.shard_stats(4)]
+        contiguous_measured = model.sharded_coe(stats, clustered, target, 4,
+                                                partial_enabled=False,
+                                                shard_stats=shard_views)
+        # Uniform flips to range; measured keeps contiguous.
+        assert range_uniform < contiguous_uniform
+        assert contiguous_measured < range_measured
+        # And the skewed partition genuinely spills (the measured numbers
+        # price real run I/O, not just a reshuffled tie).
+        assert range_measured > 100 * contiguous_measured
+
+        session = QuerySession(catalog, strategy="pyro-o-")  # SRS enforcers
+        prepared = session.prepare(Query.table("t").order_by("k", "v"),
+                                   parallelism=4)
+        merges = prepared.plan.find_all("MergeExchange")
+        assert merges
+        assert [c.children[0].op for c in merges[0].children] == \
+            ["ShardedScan"] * 4  # contiguous, not the spilling range plan
+        ctx = ExecutionContext(catalog)
+        prepared.execute(ctx)
+        assert ctx.sort_metrics.runs_created == 0
+
+
+class TestRangePartitionedEnforcement:
+    def test_disjoint_merge_skips_the_heap(self):
+        """Per-partition sorts of a range-partitioned table concatenate
+        without heap comparisons when the merge order leads with the
+        partition column."""
+        from repro.engine import MergeExchange as EngineMergeExchange
+        from repro.engine import RangePartitionScan, partitions_disjoint_on
+
+        rng = random.Random(7)
+        catalog = Catalog(SystemParameters())
+        schema = Schema.of(("k", "int", 8), ("v", "int", 8))
+        rows = [(rng.randrange(1000), rng.randrange(50)) for _ in range(4000)]
+        catalog.create_table("t", schema, rows=rows,
+                             partitioning=RangePartitioning("k", (250, 500, 750)))
+        table = catalog.table("t")
+        order = SortOrder(["k", "v"])
+        children = [Sort(RangePartitionScan(table, i), order) for i in range(4)]
+        assert partitions_disjoint_on(children, order)
+        exchange = EngineMergeExchange(children, order)
+        assert exchange.partition_disjoint
+
+        merged_ctx = ExecutionContext(catalog, check_orders=True)
+        merged = exchange.run(merged_ctx)
+        reference_ctx = ExecutionContext(catalog)
+        reference = Sort(TableScan(table), order).run(reference_ctx)
+        assert merged == reference
+        # The heap would have paid ~N·log2(k) comparisons on top of the
+        # sorts; concatenation pays none, so the disjoint gather does
+        # strictly fewer comparisons than the monolithic sort.
+        assert merged_ctx.comparisons.value < reference_ctx.comparisons.value
+
+    def test_filtered_partition_scan_charges_full_table(self):
+        """On a table not clustered on the partition column, each
+        partition scan reads (and pays for) every block."""
+        from repro.engine import RangePartitionScan
+
+        catalog = Catalog(SystemParameters())
+        schema = Schema.of(("k", "int", 8), ("v", "int", 8))
+        rows = [(i % 10, i) for i in range(4096)]
+        catalog.create_table("t", schema, rows=rows,
+                             partitioning=RangePartitioning("k", (5,)))
+        table = catalog.table("t")
+        full_ctx = ExecutionContext(catalog)
+        TableScan(table).run(full_ctx)
+        part_ctx = ExecutionContext(catalog)
+        part_rows = RangePartitionScan(table, 0).run(part_ctx)
+        assert part_ctx.io.blocks_read == full_ctx.io.blocks_read
+        assert part_rows == [r for r in rows if r[0] < 5]
+
+    def test_executor_shards_along_partition_boundaries(self):
+        """shard_scans prefers a matching clustered-contiguous partition
+        spec over equal row counts, so the pushed-down sort gets the
+        heap-free merge."""
+        rng = random.Random(11)
+        catalog = Catalog(SystemParameters(sort_memory_blocks=20))
+        schema = Schema.of(("k", "int", 64), ("v", "int", 64))
+        rows = [(rng.randrange(100), rng.randrange(50)) for _ in range(2000)]
+        catalog.create_table("t", schema, rows=rows,
+                             clustering_order=SortOrder(["k"]),
+                             partitioning=RangePartitioning("k", (25, 50, 75)))
+        table = catalog.table("t")
+        # A full (SRS) sort: 62 blocks spill post-union, ~15-block
+        # partitions fit — and the merge order leads with the partition
+        # column, so the pushed-down gather is the heap-free concat.
+        op = Sort(TableScan(table), SortOrder(["k", "v"]), algorithm="srs")
+        executor = BatchedExecutor(parallelism=4, shard_aware_sorts=True)
+        prepared = executor.prepare(op, catalog.params)
+        assert isinstance(prepared, MergeExchange)
+        assert prepared.partition_disjoint
+        assert executor.run(op, ExecutionContext(catalog)) == \
+            Sort(TableScan(table), SortOrder(["k", "v"])).run(
+                ExecutionContext(catalog))
+
+
+class TestServingKnobs:
+    def test_partition_spec_salts_the_cache(self):
+        """Declaring (or changing) a range partition spec bumps the
+        table version, so cached plans for that table re-optimize."""
+        catalog = skewed_range_catalog()
+        query = Query.table("t").order_by("k", "v")
+        session = QuerySession(catalog)
+        first = session.prepare(query, parallelism=4)
+        assert session.prepare(query, parallelism=4).from_cache
+        catalog.table("t").set_partitioning(
+            RangePartitioning("k", (450, 900, 950)))
+        replanned = session.prepare(query, parallelism=4)
+        assert not replanned.from_cache
+        assert session.metrics.optimizations == 2
+
+    def test_refresh_stats_invalidates_per_shard_decision(self):
+        """refresh_stats drops the measured per-shard caches and the
+        cached plan, so the next prepare re-decides placement from the
+        new boundaries."""
+        catalog = spill_catalog()
+        query = Query.table("r").order_by("c2")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        assert prepared.plan.find_all("MergeExchange")
+        table = catalog.table("r")
+        first_shard_stats = table.shard_stats(4)
+        catalog.refresh_stats("r")
+        assert table.shard_stats(4) is not first_shard_stats
+        again = session.prepare(query, parallelism=4)
+        assert not again.from_cache
+        assert session.metrics.optimizations == 2
+
+    def test_decision_counters_account_once_per_fresh_plan(self):
+        """Counters tick on fresh optimizations only — cache hits do not
+        double-count — and each counter tracks its own plan family."""
+        catalog = join_agg_catalog(c2_domain=200, dim_rows=200)
+        session = QuerySession(catalog, enable_hash_aggregate=False)
+        agg_query = Query.table("r").group_by(
+            ["c2"], count_star("n")).order_by("c2")
+        session.prepare(agg_query, parallelism=4)
+        session.prepare(agg_query, parallelism=4)  # cache hit
+        stats = session.stats()
+        assert stats["sharded_agg_plans"] == 1
+        assert stats["shard_merge_plans"] == 1
+        assert stats["sharded_join_plans"] == 0
+        assert stats["cache_hits"] == 1

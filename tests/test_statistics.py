@@ -141,3 +141,117 @@ class TestTableStats:
 
     def test_zero_rows(self):
         assert TableStats(0).distinct_of("a") == 0
+
+
+class TestPerShardStats:
+    def test_measure_shards_matches_shard_bounds(self):
+        from repro.engine import shard_bounds
+        from repro.storage import measure_shards
+
+        schema = Schema.of("a", "b")
+        rows = [(i // 3, i % 7) for i in range(20)]
+        shards = measure_shards(rows, schema, 4)
+        assert [s.num_rows for s in shards] == [
+            hi - lo for lo, hi in (shard_bounds(20, 4, i) for i in range(4))]
+        # Distincts are measured per slice, not scaled globals.
+        for i, stats in enumerate(shards):
+            lo, hi = shard_bounds(20, 4, i)
+            assert stats.distinct_of("a") == len({r[0] for r in rows[lo:hi]})
+
+    def test_measure_partitions_row_count_skew(self):
+        from repro.storage import RangePartitioning, measure_partitions
+
+        schema = Schema.of("k", "v")
+        part = RangePartitioning("k", (10, 20))
+        rows = [(k, 0) for k in [1] * 8 + [15] * 1 + [25] * 1]
+        stats = measure_partitions(rows, schema, 0, part.partition_index, 3)
+        assert [s.num_rows for s in stats] == [8, 1, 1]
+
+    def test_table_caches_and_invalidates(self):
+        from repro.core.sort_order import SortOrder
+        from repro.storage import RangePartitioning, Table
+
+        schema = Schema.of("k", "v")
+        table = Table("t", schema, rows=[(i % 4, i) for i in range(16)],
+                      clustering_order=SortOrder(["k"]),
+                      partitioning=RangePartitioning("k", (2,)))
+        first = table.shard_stats(4)
+        assert table.shard_stats(4) is first  # cached
+        parts = table.partition_stats()
+        assert [p.num_rows for p in parts] == [8, 8]
+        table.update_stats()  # stats replaced → measured caches dropped
+        assert table.shard_stats(4) is not first
+
+    def test_update_stats_refreshes_partition_row_ranges(self):
+        """Regression: the bisected partition row ranges are measured
+        state too — growing the rows and refreshing stats must not leave
+        partition scans slicing stale ranges (rows were silently dropped
+        before the stats setter cleared this cache)."""
+        from repro.core.sort_order import SortOrder
+        from repro.engine import ExecutionContext, RangePartitionScan
+        from repro.storage import RangePartitioning, Table
+
+        schema = Schema.of("k", "v")
+        table = Table("t", schema, rows=[(i % 4, i) for i in range(8)],
+                      clustering_order=SortOrder(["k"]),
+                      partitioning=RangePartitioning("k", (2,)))
+        assert table.partition_row_bounds(0) == (0, 4)
+        table._rows.extend((i % 4, 100 + i) for i in range(8))
+        table._sort_rows_by(SortOrder(["k"]))
+        table.update_stats()
+        assert table.partition_row_bounds(0) == (0, 8)
+        scanned = []
+        for i in range(2):
+            scanned += RangePartitionScan(table, i).run(ExecutionContext())
+        assert scanned == table.rows
+
+    def test_stats_only_table_has_no_shard_stats(self):
+        from repro.storage import Table
+
+        schema = Schema.of("k", "v")
+        table = Table("t", schema, stats=TableStats(1000, {"k": 10}))
+        assert table.shard_stats(4) is None
+        assert table.partition_stats() is None
+
+
+class TestRangePartitioning:
+    def test_partition_index_and_bounds(self):
+        from repro.storage import RangePartitioning
+
+        part = RangePartitioning("k", (10, 20, 30))
+        assert part.num_partitions == 4
+        assert part.partition_index(-5) == 0
+        assert part.partition_index(10) == 1
+        assert part.partition_index(29) == 2
+        assert part.partition_index(30) == 3
+        assert part.partition_index(None) == 0  # NULLs sort first
+
+    def test_bounds_must_ascend(self):
+        from repro.storage import RangePartitioning
+
+        with pytest.raises(ValueError):
+            RangePartitioning("k", (10, 10))
+        with pytest.raises(ValueError):
+            RangePartitioning("k", ())
+
+    def test_contiguous_row_bounds_tile_the_table(self):
+        from repro.core.sort_order import SortOrder
+        from repro.storage import RangePartitioning, Table
+
+        schema = Schema.of("k", "v")
+        rows = [(k, k * 2) for k in [0, 1, 1, 5, 7, 7, 9]]
+        table = Table("t", schema, rows=rows,
+                      clustering_order=SortOrder(["k"]),
+                      partitioning=RangePartitioning("k", (2, 8)))
+        assert table.partition_contiguous
+        ranges = [table.partition_row_bounds(i) for i in range(3)]
+        assert ranges == [(0, 3), (3, 6), (6, 7)]
+
+    def test_unclustered_partitions_not_contiguous(self):
+        from repro.storage import RangePartitioning, Table
+
+        schema = Schema.of("k", "v")
+        table = Table("t", schema, rows=[(3, 0), (1, 1), (2, 2)],
+                      partitioning=RangePartitioning("k", (2,)))
+        assert not table.partition_contiguous
+        assert table.partition_row_bounds(0) is None
