@@ -33,11 +33,20 @@ from bench_scalability import (  # noqa: E402
     run_shard_enforcer_benchmark,
     run_sharded_join_benchmark,
 )
+from bench_serving import run_serving_benchmark  # noqa: E402
+
+#: Gated wall-clock ratios that only mean something on a multi-core
+#: host; on one core they are collected but exempted from the gate.
+MULTICORE_ONLY = ("serving_speedup",)
 
 
-def collect_metrics() -> dict[str, float]:
-    """One smoke pass over both benchmarks → flat metric dict."""
+def collect_metrics() -> tuple[dict[str, float], set[str]]:
+    """One smoke pass over the benchmarks → (metric dict, skipped names).
+
+    *skipped* lists baselined metrics this host cannot meaningfully
+    measure (single-core hosts cannot show a multi-core speedup)."""
     metrics: dict[str, float] = {}
+    skipped: set[str] = set()
 
     cache_rows = run_cache_benchmark(repeats=3)
     for name, _cold, _warm, _speedup, hit_rate in cache_rows:
@@ -67,10 +76,25 @@ def collect_metrics() -> dict[str, float]:
         join["post_union_join_cost_units"], 3)
     metrics["sharded_join_advantage"] = round(
         join["sharded_join_advantage"], 3)
-    return metrics
+
+    # Serving tier: admission must not reject at steady state and the
+    # warmed shared cache must serve the timed run; the process-backend
+    # throughput ratio is gated only where cores exist to win with.
+    serving = run_serving_benchmark(num_rows=6_000, clients=8, rounds=3)
+    metrics["serving_rejections"] = float(serving["serving_rejections"])
+    metrics["serving_cache_hit_rate"] = round(
+        serving["serving_cache_hit_rate"], 3)
+    if serving["cores"] >= 2:
+        metrics["serving_speedup"] = round(serving["serving_speedup"], 3)
+    else:
+        skipped.add("serving_speedup")
+        print(f"  (single-core host: serving_speedup "
+              f"{serving['serving_speedup']:.2f}x collected but not gated)")
+    return metrics, skipped
 
 
-def compare(metrics: dict[str, float], baseline: dict) -> list[str]:
+def compare(metrics: dict[str, float], baseline: dict,
+            skipped: set[str] = frozenset()) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
     tolerance = float(baseline.get("tolerance", 0.20))
     failures: list[str] = []
@@ -79,6 +103,9 @@ def compare(metrics: dict[str, float], baseline: dict) -> list[str]:
         higher_is_better = bool(spec["higher_is_better"])
         current = metrics.get(name)
         if current is None:
+            if name in skipped:
+                print(f"  {name:28s} skipped (not measurable on this host)")
+                continue
             failures.append(f"{name}: metric missing from current run")
             continue
         if higher_is_better:
@@ -104,15 +131,20 @@ def compare(metrics: dict[str, float], baseline: dict) -> list[str]:
 def write_baseline(metrics: dict[str, float]) -> None:
     """Re-baseline: deterministic metrics exact, wall-clock conservative."""
     specs = {}
-    for name, value in metrics.items():
+    # Wall-clock ratios are the noisy metrics: pin their baselines so the
+    # gate floor (value * (1 - tolerance)) lands on the documented 1.5x
+    # acceptance bar whatever the re-baselining host measured.  The
+    # serving ratio is pinned even when the host could not measure it
+    # (single core), so multi-core CI always gates it.
+    pinned = {"batch_speedup": round(1.5 / (1.0 - 0.20), 2),
+              "serving_speedup": round(1.5 / (1.0 - 0.20), 2)}
+    for name, value in {**pinned, **metrics}.items():
         higher_is_better = name.startswith(
-            ("cache_hit_rate", "batch_speedup", "shard_merge_advantage",
+            ("cache_hit_rate", "batch_speedup", "serving_speedup",
+             "serving_cache_hit_rate", "shard_merge_advantage",
              "sharded_join_advantage"))
-        if name == "batch_speedup":
-            # Wall-clock is the one noisy metric: pin its baseline so the
-            # gate floor (value * (1 - tolerance)) lands on the same 1.5x
-            # slack bench_scalability --smoke enforces for itself.
-            value = round(min(value, 1.5 / (1.0 - 0.20)), 2)
+        if name in pinned:
+            value = pinned[name]
         specs[name] = {"value": value, "higher_is_better": higher_is_better}
     BASELINE_PATH.write_text(json.dumps(
         {"tolerance": 0.20, "metrics": specs}, indent=2, sort_keys=True) + "\n")
@@ -121,7 +153,7 @@ def write_baseline(metrics: dict[str, float]) -> None:
 
 def main(argv: list[str]) -> int:
     print("collecting benchmark metrics (smoke configuration)...")
-    metrics = collect_metrics()
+    metrics, skipped = collect_metrics()
     if "--update" in argv:
         write_baseline(metrics)
         return 0
@@ -131,7 +163,7 @@ def main(argv: list[str]) -> int:
     baseline = json.loads(BASELINE_PATH.read_text())
     print(f"comparing against {BASELINE_PATH.name} "
           f"(tolerance {baseline.get('tolerance', 0.2):.0%}):")
-    failures = compare(metrics, baseline)
+    failures = compare(metrics, baseline, skipped)
     if failures:
         print("\nbenchmark regression gate FAILED:")
         for failure in failures:

@@ -49,6 +49,14 @@ from .scans import (
 )
 from .sets import Dedup, HashDedup, MergeUnion, UnionAll
 from .sorting import merge_sorted_streams, mrs_sort, sort_stream, srs_sort
+from .subplan import (
+    assemble,
+    exchange_occurrences,
+    execute_subplan,
+    init_worker,
+    shard_subplans,
+    strip_plan,
+)
 
 __all__ = [
     "AGGREGATE_COMBINERS",
@@ -88,10 +96,14 @@ __all__ = [
     "TableScan",
     "TopK",
     "UnionAll",
+    "assemble",
     "batches_of",
     "collect_rows",
     "combinable",
+    "exchange_occurrences",
+    "execute_subplan",
     "flatten_batches",
+    "init_worker",
     "key_function",
     "merge_sorted_streams",
     "mrs_sort",
@@ -102,8 +114,10 @@ __all__ = [
     "range_shardable",
     "shard_bounds",
     "shard_scans",
+    "shard_subplans",
     "shardable",
     "sort_stream",
     "srs_sort",
+    "strip_plan",
     "with_exchange_workers",
 ]

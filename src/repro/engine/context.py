@@ -195,20 +195,47 @@ class ExecutionContext:
         return ExecutionContext(self.catalog, self.params, self.check_orders,
                                 self.batch_size)
 
+    def tallies(self) -> dict[str, int]:
+        """All counters as a flat, picklable dict.
+
+        The process-pool backend's workers charge their own context and
+        ship this dict back with the result rows; the parent folds it in
+        with :meth:`absorb_tallies` (in shard order, like :meth:`absorb`),
+        so totals stay deterministic across worker scheduling.
+        """
+        return {
+            "blocks_read": self.io.blocks_read,
+            "blocks_written": self.io.blocks_written,
+            "scan_blocks": self.io.scan_blocks,
+            "run_blocks_written": self.io.run_blocks_written,
+            "run_blocks_read": self.io.run_blocks_read,
+            "partition_blocks": self.io.partition_blocks,
+            "comparisons": self.comparisons.value,
+            "runs_created": self.sort_metrics.runs_created,
+            "segments_sorted": self.sort_metrics.segments_sorted,
+            "rows_spilled": self.sort_metrics.rows_spilled,
+            "merge_passes": self.sort_metrics.merge_passes,
+            "in_memory_sorts": self.sort_metrics.in_memory_sorts,
+        }
+
+    def absorb_tallies(self, tallies: dict[str, int]) -> None:
+        """Fold a :meth:`tallies` dict (e.g. from a worker process) in."""
+        self.io.blocks_read += tallies["blocks_read"]
+        self.io.blocks_written += tallies["blocks_written"]
+        self.io.scan_blocks += tallies["scan_blocks"]
+        self.io.run_blocks_written += tallies["run_blocks_written"]
+        self.io.run_blocks_read += tallies["run_blocks_read"]
+        self.io.partition_blocks += tallies["partition_blocks"]
+        self.comparisons.value += tallies["comparisons"]
+        self.sort_metrics.runs_created += tallies["runs_created"]
+        self.sort_metrics.segments_sorted += tallies["segments_sorted"]
+        self.sort_metrics.rows_spilled += tallies["rows_spilled"]
+        self.sort_metrics.merge_passes += tallies["merge_passes"]
+        self.sort_metrics.in_memory_sorts += tallies["in_memory_sorts"]
+
     def absorb(self, child: "ExecutionContext") -> None:
         """Fold a forked context's counters into this one."""
-        self.io.blocks_read += child.io.blocks_read
-        self.io.blocks_written += child.io.blocks_written
-        self.io.scan_blocks += child.io.scan_blocks
-        self.io.run_blocks_written += child.io.run_blocks_written
-        self.io.run_blocks_read += child.io.run_blocks_read
-        self.io.partition_blocks += child.io.partition_blocks
-        self.comparisons.value += child.comparisons.value
-        self.sort_metrics.runs_created += child.sort_metrics.runs_created
-        self.sort_metrics.segments_sorted += child.sort_metrics.segments_sorted
-        self.sort_metrics.rows_spilled += child.sort_metrics.rows_spilled
-        self.sort_metrics.merge_passes += child.sort_metrics.merge_passes
-        self.sort_metrics.in_memory_sorts += child.sort_metrics.in_memory_sorts
+        self.absorb_tallies(child.tallies())
 
     def reset(self) -> None:
         self.io = IOAccountant()

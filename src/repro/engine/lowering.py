@@ -34,7 +34,7 @@ op                     args
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from .aggregates import HashAggregate, SortAggregate, SortedGroupCombine
@@ -55,9 +55,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..storage.catalog import Catalog
 
 
-def operators_from_plan(plan, catalog: "Catalog") -> Operator:
-    """Recursively build the engine operator tree for *plan*."""
-    children = [operators_from_plan(c, catalog) for c in plan.children]
+def operators_from_plan(plan, catalog: "Catalog",
+                        replace: Optional[Callable[..., Optional[Operator]]] = None
+                        ) -> Operator:
+    """Recursively build the engine operator tree for *plan*.
+
+    *replace*, when given, is consulted on every plan node **before**
+    default lowering; returning an operator substitutes the whole
+    subtree (its children are not lowered).  The process-pool backend
+    uses this to graft pre-executed shard results back into the plan
+    (:mod:`repro.engine.subplan`).
+    """
+    if replace is not None:
+        substituted = replace(plan)
+        if substituted is not None:
+            return substituted
+    children = [operators_from_plan(c, catalog, replace) for c in plan.children]
     op = plan.op
 
     if op == "TableScan":

@@ -1,0 +1,166 @@
+"""Shard-subplan extraction and the process-pool worker entrypoint.
+
+The process-pool backend (:mod:`repro.service.backends`) gives the
+sharded enforcers true multi-core parallelism: the per-shard pipelines
+the optimizer placed under a :class:`~repro.engine.exchange.MergeExchange`
+(or :class:`~repro.engine.exchange.ExchangeUnion`) are shipped — as
+picklable :class:`~repro.optimizer.plans.PhysicalPlan` subtrees — to
+worker processes, executed there, and gathered back through the same
+order-preserving merge in the serving process.  This module supplies the
+three pieces:
+
+* :func:`exchange_occurrences` / :func:`shard_subplans` — find the
+  *maximal* exchange nodes of a plan (exchanges not nested under another
+  exchange) and cut their children out as independent worker tasks;
+* :func:`strip_plan` — drop optimizer-only payload (the ``logical``
+  back-references candidate generation attaches) before pickling, so
+  the shipped bytes carry only what lowering needs;
+* :func:`execute_subplan` — the worker entrypoint: lowers a subplan
+  against the worker's catalog (installed once per pool by
+  :func:`init_worker`) and returns ``(rows, tallies)``;
+* :func:`assemble` — rebuild the serving-side operator tree with each
+  shipped child replaced by a :class:`~repro.engine.scans.RowSource`
+  over the worker's rows, so the gather (stable k-way merge, ties to
+  the lowest shard index) and everything above it runs locally and the
+  result is **bit-identical** to single-process execution.
+
+Determinism: tasks are generated in plan pre-order and, per exchange, in
+shard order; the parent absorbs worker tallies in exactly that order, so
+counters never depend on worker scheduling.  One caveat: a gather whose
+children were range partitions disjoint on the merge key concatenates
+heap-free locally, but the re-assembled gather merges ``RowSource``
+children and cannot re-detect partition disjointness — rows are
+identical, comparison tallies may be slightly higher.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .context import ExecutionContext
+from .executor import BatchedExecutor
+from .exchange import ExchangeUnion, MergeExchange
+from .iterators import Operator
+from .lowering import operators_from_plan
+from .scans import RowSource
+
+#: The gather operators whose children are independently executable
+#: shard pipelines.
+EXCHANGE_OPS = ("MergeExchange", "ExchangeUnion")
+
+
+def exchange_occurrences(plan) -> list:
+    """Maximal exchange nodes of *plan*, in pre-order.
+
+    "Maximal" means not nested under another exchange: an exchange
+    buried inside a shipped shard pipeline is executed by the worker
+    that runs the pipeline.  The same (memoised) plan object appearing
+    at two tree positions yields two occurrences — each is executed
+    (and charged) separately, matching local execution.
+    """
+    out: list = []
+
+    def visit(node) -> None:
+        if node.op in EXCHANGE_OPS:
+            out.append(node)
+            return
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return out
+
+
+def strip_plan(plan):
+    """A copy of *plan* without optimizer-only args (``logical``
+    back-references into the logical tree); lowering never reads them
+    and the pickled task shrinks accordingly."""
+    from ..optimizer.plans import PhysicalPlan
+
+    children = tuple(strip_plan(c) for c in plan.children)
+    args = tuple((k, v) for k, v in plan.args if k != "logical")
+    if children == plan.children and args == plan.args:
+        return plan
+    return PhysicalPlan(plan.op, plan.schema, plan.order, plan.stats,
+                        plan.self_cost, children, args)
+
+
+def shard_subplans(plan) -> tuple[list, list[Any]]:
+    """Cut *plan* into worker tasks.
+
+    Returns ``(occurrences, tasks)``: the maximal exchange nodes and the
+    flat task list — one stripped subplan per exchange child, ordered by
+    occurrence then shard index.  A plan with no exchange at all becomes
+    a single whole-plan task (``occurrences == []``): the pool then
+    provides inter-query rather than intra-query parallelism.
+    """
+    occurrences = exchange_occurrences(plan)
+    if not occurrences:
+        return [], [strip_plan(plan)]
+    tasks = [strip_plan(child)
+             for node in occurrences for child in node.children]
+    return occurrences, tasks
+
+
+def assemble(plan, occurrences: Sequence[Any],
+             shard_rows: Sequence[Sequence[list[tuple]]], catalog) -> Operator:
+    """Serving-side operator tree with shipped children grafted back in.
+
+    *shard_rows* holds, per occurrence, one row list per exchange child.
+    Each exchange is rebuilt over :class:`RowSource` children declaring
+    the exchange's merge order (their streams are sorted on it by
+    construction — the workers ran the per-shard enforcers), so a
+    ``MergeExchange`` performs the exact stable k-way merge it would
+    have performed over live shard streams, and ``check_orders``
+    execution still verifies every input.
+    """
+    remaining = [(node, rows) for node, rows in zip(occurrences, shard_rows)]
+
+    def replace(node) -> Optional[Operator]:
+        for i, (occ, rows_per_child) in enumerate(remaining):
+            if occ is node:
+                del remaining[i]
+                if node.op == "MergeExchange":
+                    children = [RowSource(c.schema, rows, node.order)
+                                for c, rows in zip(node.children,
+                                                   rows_per_child)]
+                    return MergeExchange(children, node.order)
+                children = [RowSource(c.schema, rows)
+                            for c, rows in zip(node.children, rows_per_child)]
+                return ExchangeUnion(children)
+        return None
+
+    root = operators_from_plan(plan, catalog, replace=replace)
+    if remaining:  # pragma: no cover - defensive
+        raise RuntimeError("assemble: not every shipped exchange was grafted")
+    return root
+
+
+# -- worker side -------------------------------------------------------------------------
+#: Installed once per worker process by :func:`init_worker`.
+_WORKER_CATALOG = None
+
+
+def init_worker(payload) -> None:
+    """Process-pool initializer: build this worker's catalog copy."""
+    global _WORKER_CATALOG
+    from ..storage.handoff import build_catalog
+
+    _WORKER_CATALOG = build_catalog(payload)
+
+
+def execute_subplan(plan, batch_size: Optional[int] = None,
+                    check_orders: bool = False) -> tuple[list[tuple], dict]:
+    """Worker entrypoint: run one shipped subplan to completion.
+
+    Returns the result rows plus the worker's counter tallies
+    (:meth:`~repro.engine.context.ExecutionContext.tallies`); the parent
+    absorbs tallies in task order so totals stay deterministic.
+    """
+    if _WORKER_CATALOG is None:
+        raise RuntimeError("worker pool not initialized with a catalog "
+                           "payload (init_worker was not run)")
+    ctx = ExecutionContext(_WORKER_CATALOG, batch_size=batch_size,
+                           check_orders=check_orders)
+    rows = BatchedExecutor().run(plan.to_operator(_WORKER_CATALOG), ctx)
+    return rows, ctx.tallies()

@@ -207,14 +207,47 @@ class Annotator:
 
     # -- equivalence classes --------------------------------------------------------
     def _collect_equivalences(self, expr: LogicalExpr) -> None:
-        for node in expr.walk():
-            # Only INNER join equalities are true equivalences: an outer
-            # join pads one side's columns with NULLs on unmatched rows,
-            # so ``l = r`` does not hold row-by-row and orders must not
-            # transfer across the pair (mirrors query_fds).
-            if isinstance(node, Join) and node.join_type == "inner":
-                for l, r in node.predicate.pairs:
-                    self.eq.add_equivalence(l, r)
+        for a, b in self._equivalence_pairs(expr):
+            self.eq.add_equivalence(a, b)
+
+    def _equivalence_pairs(self, expr: LogicalExpr) -> list[tuple[str, str]]:
+        """Attribute pairs provably equal on every row *expr* produces.
+
+        Only INNER join equalities are true equivalences: an outer join
+        pads one side's columns with NULLs on unmatched rows, so
+        ``l = r`` does not hold row-by-row and orders must not transfer
+        across the pair (mirrors query_fds).
+
+        A :class:`Union` *intersects* its branches: a pair of output
+        columns is equivalent only when both branches guarantee it
+        (right branch tested under the positional rename) — an equality
+        established by one branch's join does not hold on the sibling's
+        rows, even when the branches reuse the same column names.
+        Branch-internal pairs over columns invisible above the union are
+        dropped (conservative, and nothing above can name them).
+        """
+        if isinstance(expr, Union):
+            left_eq = AttributeEquivalence()
+            for a, b in self._equivalence_pairs(expr.left):
+                left_eq.add_equivalence(a, b)
+            right_eq = AttributeEquivalence()
+            for a, b in self._equivalence_pairs(expr.right):
+                right_eq.add_equivalence(a, b)
+            lnames = self.schema_of(expr.left).names
+            rename = dict(zip(lnames, self.schema_of(expr.right).names))
+            kept: list[tuple[str, str]] = []
+            for i, a in enumerate(lnames):
+                for b in lnames[i + 1:]:
+                    if left_eq.same(a, b) and right_eq.same(rename[a],
+                                                            rename[b]):
+                        kept.append((a, b))
+            return kept
+        pairs: list[tuple[str, str]] = []
+        if isinstance(expr, Join) and expr.join_type == "inner":
+            pairs.extend(expr.predicate.pairs)
+        for child in expr.children:
+            pairs.extend(self._equivalence_pairs(child))
+        return pairs
 
     # -- used attributes per base table ----------------------------------------------
     def _collect_used_attrs(self, root: LogicalExpr) -> dict[str, frozenset[str]]:

@@ -122,12 +122,28 @@ def query_fds(catalog, root) -> FDSet:
 
     Base-table keys hold on every result that retains those columns;
     join equalities and constant filters are added from the tree.
-    """
-    from .algebra import Join, Select
 
-    fds = FDSet()
-    for node in root.walk():
-        from .algebra import BaseRelation
+    A :class:`~repro.logical.algebra.Union` is a fact *intersection*: a
+    dependency holds on union output only if it holds in **both**
+    branches (with right-branch columns renamed to the left/output
+    names) — a key or join equality established in one branch says
+    nothing about the sibling's rows, even when the branches reuse the
+    same column names.  Each branch FD is kept iff the other branch
+    *entails* it (closure test), a sound approximation of the exact
+    FD-set intersection.
+    """
+    from .algebra import Annotator, BaseRelation, Join, Select, Union
+
+    def collect(node) -> FDSet:
+        if isinstance(node, Union):
+            left_fds = collect(node.left)
+            right_fds = collect(node.right)
+            lnames = Annotator(catalog, node.left).schema_of(node.left).names
+            rnames = Annotator(catalog, node.right).schema_of(node.right).names
+            to_right = dict(zip(lnames, rnames))
+            to_left = dict(zip(rnames, lnames))
+            return _intersect_fds(left_fds, right_fds, to_right, to_left)
+        fds = FDSet()
         if isinstance(node, BaseRelation):
             table = catalog.table(node.table_name)
             for fd in table.functional_dependencies():
@@ -138,4 +154,40 @@ def query_fds(catalog, root) -> FDSet:
                     fds.add_equivalence(l, r)
         elif isinstance(node, Select):
             fds.add_from_predicate(node.predicate)
-    return fds
+        for child in node.children:
+            for fd in collect(child):
+                fds.add(fd)
+        return fds
+
+    return collect(root)
+
+
+def _rename_fd(fd: FunctionalDependency,
+               mapping: dict[str, str]) -> FunctionalDependency:
+    """Translate an FD across a positional schema rename (the ``⊤``
+    constant marker and columns outside the schema pass through)."""
+    return FunctionalDependency(
+        frozenset(mapping.get(a, a) for a in fd.determinants),
+        frozenset(mapping.get(a, a) for a in fd.dependents))
+
+
+def _intersect_fds(left: FDSet, right: FDSet, to_right: dict[str, str],
+                   to_left: dict[str, str]) -> FDSet:
+    """FDs (in left/output names) entailed by **both** branch FD sets."""
+    out = FDSet()
+    seen: set[tuple[frozenset, frozenset]] = set()
+    for fd in left:
+        translated = _rename_fd(fd, to_right)
+        if translated.dependents <= right.closure(translated.determinants):
+            key = (fd.determinants, fd.dependents)
+            if key not in seen:
+                seen.add(key)
+                out.add(fd)
+    for fd in right:
+        translated = _rename_fd(fd, to_left)
+        if translated.dependents <= left.closure(translated.determinants):
+            key = (translated.determinants, translated.dependents)
+            if key not in seen:
+                seen.add(key)
+                out.add(translated)
+    return out

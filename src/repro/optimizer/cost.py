@@ -197,6 +197,25 @@ class CostModel:
         the merged per-shard partial rows."""
         return self.cpu(partial_rows)
 
+    def sharded_dedup(self, shard_stats: Sequence[StatsView],
+                      columns: Sequence[str],
+                      disjoint_merge: bool = False) -> float:
+        """Per-shard DISTINCT under a merge, plus the merge-level final
+        dedup: each shard streams its (sorted) rows once, the merge
+        gathers one row per per-shard distinct value — duplicates living
+        in one shard are already gone, so the merge input shrinks to the
+        per-shard distinct counts — and a final streaming dedup above
+        the merge drops the duplicates that straddled shard boundaries
+        (adjacent after the order-preserving merge).
+        """
+        partial_rows = sum(s.distinct_of_set(list(columns))
+                           for s in shard_stats)
+        dedup_cpu = sum(self.dedup(s) for s in shard_stats)
+        return (dedup_cpu
+                + self.merge_exchange(partial_rows, len(shard_stats),
+                                      disjoint=disjoint_merge)
+                + self.cpu(partial_rows))
+
     # -- scans ----------------------------------------------------------------------
     def table_scan(self, stats: StatsView) -> float:
         return float(stats.B(self.params.block_size))

@@ -231,6 +231,12 @@ class OptimizationRun:
         self.parallelism = (max(1, config.parallelism)
                             if config.shard_aware_enforcers else 1)
         self.annotator = Annotator(catalog, root)
+        #: Whole-query equivalence classes — used for *candidate
+        #: generation* (interesting orders) and cost pricing.  Goal
+        #: satisfaction must NOT use these: like FDs, an equivalence
+        #: established by one union branch's join is invalid in a
+        #: name-colliding sibling, so memo keys and enforcement use
+        #: :meth:`eq_of` — the classes of the goal's own subtree.
         self.eq = self.annotator.eq
         #: Whole-query FDs — used for *candidate generation* (interesting
         #: orders).  Goal reduction must NOT use these: an FD harvested in
@@ -295,7 +301,13 @@ class OptimizationRun:
         plans, only the number of goals examined.
         """
         required = self.fds_of(expr).reduce_order(required)
-        key = (expr, tuple(self.eq.canonical(a) for a in required))
+        # Canonicalize the goal order with *this subtree's* equivalences
+        # only: the whole-query classes may equate attributes via a
+        # sibling branch's join, and collapsing two genuinely different
+        # goals into one memo slot would serve one branch's plan (and
+        # its order guarantee) for the other's requirement.
+        eq = self.eq_of(expr)
+        key = (expr, tuple(eq.canonical(a) for a in required))
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -316,7 +328,7 @@ class OptimizationRun:
         best: Optional[PhysicalPlan] = None
         for candidate in self._native_candidates(expr, required, bound):
             plan = self.enforce(candidate, required, limit=bound.value,
-                                fds=self.fds_of(expr))
+                                fds=self.fds_of(expr), eq=eq)
             if plan is None:
                 continue
             if best is None or plan.total_cost < best.total_cost:
@@ -363,8 +375,18 @@ class OptimizationRun:
     # -- enforcers ------------------------------------------------------------------------
     def enforce(self, plan: PhysicalPlan, required: SortOrder,
                 limit: float = math.inf,
-                fds: Optional[FDSet] = None) -> Optional[PhysicalPlan]:
+                fds: Optional[FDSet] = None,
+                eq: Optional[AttributeEquivalence] = None
+                ) -> Optional[PhysicalPlan]:
         """Add a (partial) sort enforcer if *plan* misses the requirement.
+
+        *fds* and *eq* are the facts valid on the goal's own subtree
+        (:meth:`fds_of` / :meth:`eq_of`); both default to the whole-query
+        sets for external callers planning single-subtree chains.  The
+        subtree scoping matters for requirement *satisfaction*: a
+        sibling union branch's join equivalence must neither skip a
+        needed sort nor donate a partial-sort prefix the stream does not
+        actually have.
 
         With ``parallelism > 1`` and a shardable input, two enforcer
         placements compete on cost: the classic post-union sort above the
@@ -380,14 +402,16 @@ class OptimizationRun:
         """
         if plan.total_cost >= limit:
             return None
+        if eq is None:
+            eq = self.eq
         target = (fds if fds is not None else self.fds).reduce_order(required)
-        if not target or plan.order.satisfies(target, self.eq):
+        if not target or plan.order.satisfies(target, eq):
             return plan
-        translated = self._translate_order(target, plan.schema)
+        translated = self._translate_order(target, plan.schema, eq)
         if translated is None:
             return None
         partial_ok = self.config.partial_sort_enforcers
-        prefix = longest_common_prefix(translated, plan.order, self.eq)
+        prefix = longest_common_prefix(translated, plan.order, eq)
         cost = self.cost_model.coe(plan.stats, plan.order, translated,
                                    partial_enabled=partial_ok)
         if self.parallelism > 1:
@@ -568,15 +592,20 @@ class OptimizationRun:
         return make_plan("MergeExchange", plan.schema, translated, plan.stats,
                          merge_cost, shards, disjoint=disjoint)
 
-    def _translate_order(self, order: SortOrder,
-                         schema: Schema) -> Optional[SortOrder]:
-        """Express *order* in *schema*'s column names via equivalences."""
+    def _translate_order(self, order: SortOrder, schema: Schema,
+                         eq: Optional[AttributeEquivalence] = None
+                         ) -> Optional[SortOrder]:
+        """Express *order* in *schema*'s column names via equivalences
+        (*eq* defaults to the whole-query classes; enforcement passes the
+        goal subtree's own)."""
+        if eq is None:
+            eq = self.eq
         out: list[str] = []
         for attr in order:
             if attr in schema:
                 out.append(attr)
                 continue
-            mate = next((c for c in schema.names if self.eq.same(c, attr)), None)
+            mate = next((c for c in schema.names if eq.same(c, attr)), None)
             if mate is None:
                 return None
             if mate not in out:
@@ -1110,12 +1139,61 @@ class OptimizationRun:
                 child.stats.distinct_of_set(columns))
             yield make_plan("Dedup", child.schema, full_order, stats,
                             self.cost_model.dedup(child.stats), [child])
+            sharded = self._sharded_distinct_alternative(child, full_order,
+                                                         columns, stats)
+            if sharded is not None:
+                yield sharded
         child = self.optimize_goal(expr.child, EMPTY_ORDER, bound.value)
         if child is None:
             return
         stats = child.stats.with_rows(child.stats.distinct_of_set(columns))
         yield make_plan("HashDedup", child.schema, EMPTY_ORDER, stats,
                         self.cost_model.hash_dedup(child.stats, stats), [child])
+
+    def _sharded_distinct_alternative(self, child: PhysicalPlan,
+                                      full_order: SortOrder,
+                                      columns: list[str],
+                                      out_stats: StatsView
+                                      ) -> Optional[PhysicalPlan]:
+        """Per-shard DISTINCT under a merge with a merge-level final
+        dedup: each shard deduplicates its (sorted) slice, the
+        order-preserving merge gathers one row per per-shard distinct
+        value, and a final streaming :class:`Dedup` above the merge
+        drops duplicates that straddled shard boundaries — adjacent
+        after the merge, so the result is bit-identical to the
+        unsharded Dedup.  Wins when in-shard duplicates shrink the merge
+        input (the DISTINCT analogue of the per-shard aggregation) or
+        when the per-shard enforcers below already avoided a spill.
+        """
+        if self.parallelism < 2:
+            return None
+        sharded = self._sorted_shards_of(child, self.parallelism)
+        if sharded is None:
+            return None
+        shards, views, disjoint = sharded
+        k = len(shards)
+        dedup_costs = [self.cost_model.dedup(v) for v in views]
+        partial_rows = sum(v.distinct_of_set(columns) for v in views)
+        merge_cost = self.cost_model.merge_exchange(partial_rows, k,
+                                                    disjoint=disjoint)
+        final_cost = self.cost_model.cpu(partial_rows)
+        # Per-node numbers below; CostModel.sharded_dedup is the same
+        # formula in closed form, pinned equal by test_cost.
+        est = (sum(s.total_cost for s in shards) + sum(dedup_costs)
+               + merge_cost + final_cost)
+        regular = child.total_cost + self.cost_model.dedup(child.stats)
+        if not prefer_sharded(est, regular):
+            return None
+        dedups = [
+            make_plan("Dedup", shard.schema, full_order,
+                      view.with_rows(view.distinct_of_set(columns)), cost,
+                      [shard])
+            for shard, view, cost in zip(shards, views, dedup_costs)]
+        merged = make_plan("MergeExchange", child.schema, full_order,
+                           out_stats.with_rows(partial_rows), merge_cost,
+                           dedups, disjoint=disjoint)
+        return make_plan("Dedup", child.schema, full_order, out_stats,
+                         final_cost, [merged])
 
     def _union_candidates(self, expr: Union, required: SortOrder,
                           bound: _Bound) -> Iterable[PhysicalPlan]:

@@ -1,11 +1,24 @@
-"""Query-serving layer: plan cache + prepared queries.
+"""Query-serving layer: plan cache + prepared queries + the concurrent
+query server.
 
 The optimizer reproduces the paper; this package makes it *servable*:
 repeated and parameterized queries hit a fingerprint-keyed, statistics-
-versioned plan cache instead of re-running the Volcano search.
+versioned plan cache instead of re-running the Volcano search, and
+:class:`QueryServer` serves many concurrent clients with admission
+control and a pluggable execution backend (in-process or a multi-core
+process pool).
 """
 
-from .plan_cache import CacheStats, PlanCache
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from .metrics import LatencyTracker, ServerMetrics
+from .plan_cache import CacheStats, PlanCache, SharedPlanCache
+from .server import QueryRejected, QueryResult, QueryServer, QueryTimeout
 from .session import (
     PreparedQuery,
     QuerySession,
@@ -17,11 +30,23 @@ from .session import (
 
 __all__ = [
     "CacheStats",
+    "ExecutionBackend",
+    "LatencyTracker",
     "PlanCache",
     "PreparedQuery",
+    "ProcessPoolBackend",
+    "QueryRejected",
+    "QueryResult",
+    "QueryServer",
     "QuerySession",
+    "QueryTimeout",
+    "SerialBackend",
+    "ServerMetrics",
     "SessionMetrics",
+    "SharedPlanCache",
+    "ThreadBackend",
     "bind_expression",
     "bind_plan",
+    "make_backend",
     "plan_params",
 ]

@@ -1,0 +1,241 @@
+"""Pluggable execution backends for the :class:`QueryServer`.
+
+A backend turns one bound :class:`~repro.optimizer.plans.PhysicalPlan`
+into result rows.  Three strategies:
+
+* :class:`SerialBackend` — the in-process
+  :class:`~repro.engine.executor.BatchedExecutor`, one plan per dispatch
+  thread.  Concurrency across queries comes from the server's dispatch
+  pool, but CPython's GIL serializes the CPU work.
+* :class:`ThreadBackend` — same, with thread-pool exchange drains
+  (``use_threads=True``).  Helps I/O-bound operator backends; pure-Python
+  CPU work still serializes.
+* :class:`ProcessPoolBackend` — ships per-shard subplans (or whole
+  plans, when a plan has no exchange) to worker processes and gathers
+  them through the order-preserving merge in the serving process
+  (:mod:`repro.engine.subplan`).  This is the one backend that gives the
+  sharded enforcers true multi-core parallelism beyond the GIL.
+
+Every backend returns rows **bit-identical** to serial execution: shard
+pipelines are cut only at exchange boundaries, workers run the exact
+per-shard plans, and the serving-side gather performs the same stable
+merge (ties to the lowest shard index) the local exchange would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Optional
+
+from ..engine.context import ExecutionContext
+from ..engine.executor import BatchedExecutor
+from ..engine.subplan import (
+    assemble,
+    execute_subplan,
+    init_worker,
+    shard_subplans,
+)
+from ..storage.catalog import Catalog
+from ..storage.handoff import catalog_payload
+
+
+class ExecutionBackend:
+    """Interface: run one bound physical plan to completion.
+
+    *ctx*, when supplied, receives the execution's counter tallies
+    (simulated I/O, comparisons, sort metrics) — for the process
+    backend these are the worker tallies folded in shard order, so
+    totals match in-process execution's determinism.
+    """
+
+    name = "backend"
+
+    def run_plan(self, plan, catalog: Catalog, parallelism: int = 1,
+                 batch_size: Optional[int] = None,
+                 check_orders: bool = False,
+                 ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/processes; idempotent."""
+
+    def describe(self) -> dict:
+        """Static configuration for ``QueryServer.stats()``."""
+        return {"backend": self.name}
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process batched execution (the ``QuerySession.execute`` path)."""
+
+    name = "serial"
+
+    def __init__(self, use_threads: bool = False) -> None:
+        self.use_threads = use_threads
+
+    def run_plan(self, plan, catalog: Catalog, parallelism: int = 1,
+                 batch_size: Optional[int] = None,
+                 check_orders: bool = False,
+                 ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        ctx = ctx or ExecutionContext(catalog, batch_size=batch_size,
+                                      check_orders=check_orders)
+        executor = BatchedExecutor(parallelism=parallelism,
+                                   use_threads=self.use_threads)
+        return executor.run(plan.to_operator(catalog), ctx)
+
+
+class ThreadBackend(SerialBackend):
+    """Serial backend with thread-pool exchange drains."""
+
+    name = "threads"
+
+    def __init__(self) -> None:
+        super().__init__(use_threads=True)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Multi-core execution over a pool of worker processes.
+
+    The pool is built once (eagerly, so all workers exist before the
+    server's dispatch threads start) with each worker holding its own
+    catalog copy from a :func:`~repro.storage.handoff.catalog_payload`
+    snapshot.  Per query, the plan's maximal exchanges are cut into
+    per-shard tasks (:func:`~repro.engine.subplan.shard_subplans`);
+    plans without exchanges ship whole — the pool then provides
+    inter-query parallelism instead.
+
+    ``mp_context`` picks the multiprocessing start method; the default
+    prefers ``fork`` (cheap worker startup, payload inherited by
+    reference) and falls back to the platform default where ``fork`` is
+    unavailable.  ``fork`` is only safe while the serving process is
+    single-threaded, so it is used exclusively for the **eager initial
+    build** (which the constructor performs, before the server's
+    dispatch threads exist); any later rebuild — :meth:`refresh` after
+    catalog row changes, or the automatic replacement of a broken pool
+    — happens mid-traffic and therefore switches to ``spawn``, which
+    never inherits another thread's held locks.  :meth:`stale` reports
+    whether the catalog version moved since the pool was built.
+    """
+
+    name = "process"
+
+    def __init__(self, catalog: Catalog, workers: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> None:
+        self.catalog = catalog
+        self.workers = workers or os.cpu_count() or 1
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else None
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_version: Optional[int] = None
+        self._forked_once = False
+        self._ensure_pool()
+
+    # -- pool lifecycle ---------------------------------------------------------------
+    def _build_context(self):
+        """The start method for the next pool build: the configured one
+        for the constructor-time build, never ``fork`` afterwards (a
+        mid-traffic fork inherits whatever locks other threads hold)."""
+        method = self._mp_context
+        if method == "fork" and self._forked_once:
+            method = "spawn"
+        return multiprocessing.get_context(method) if method else None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                payload = catalog_payload(self.catalog)
+                context = self._build_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context,
+                    initializer=init_worker, initargs=(payload,))
+                # Touch every worker now, not at first traffic.
+                list(self._pool.map(_noop, range(self.workers)))
+                self._pool_version = payload.version_token
+                if self._mp_context == "fork":
+                    self._forked_once = True
+            return self._pool
+
+    def stale(self) -> bool:
+        """Whether the catalog changed since the workers were built."""
+        return (self._pool_version is not None
+                and self._pool_version != self.catalog.stats_version)
+
+    def refresh(self) -> None:
+        """Rebuild the pool against the current catalog contents."""
+        self.close()
+        self._ensure_pool()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+    # -- execution -------------------------------------------------------------------
+    def run_plan(self, plan, catalog: Catalog, parallelism: int = 1,
+                 batch_size: Optional[int] = None,
+                 check_orders: bool = False,
+                 ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        pool = self._ensure_pool()
+        occurrences, tasks = shard_subplans(plan)
+        try:
+            futures = [pool.submit(execute_subplan, task, batch_size,
+                                   check_orders)
+                       for task in tasks]
+            results = [future.result() for future in futures]
+        except BrokenExecutor:
+            # A worker died (OOM, signal): rebuild once (spawn context —
+            # see _build_context) and retry, so a transient casualty
+            # doesn't poison every later query.
+            self.refresh()
+            pool = self._ensure_pool()
+            futures = [pool.submit(execute_subplan, task, batch_size,
+                                   check_orders)
+                       for task in tasks]
+            results = [future.result() for future in futures]
+        ctx = ctx or ExecutionContext(catalog, batch_size=batch_size,
+                                      check_orders=check_orders)
+        # Fold worker tallies in task (= shard) order: deterministic.
+        for _, tallies in results:
+            ctx.absorb_tallies(tallies)
+        if not occurrences:
+            return results[0][0]
+        shard_rows = []
+        cursor = 0
+        for node in occurrences:
+            width = len(node.children)
+            shard_rows.append([results[cursor + j][0] for j in range(width)])
+            cursor += width
+        root = assemble(plan, occurrences, shard_rows, catalog)
+        return BatchedExecutor().run(root, ctx)
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "pool_workers": self.workers,
+                "pool_stale": self.stale()}
+
+
+def _noop(_: int) -> None:
+    """Pool warm-up task (must be module-level for pickling)."""
+
+
+def make_backend(kind, catalog: Catalog,
+                 pool_workers: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> ExecutionBackend:
+    """Resolve a backend spec: an instance passes through, a name
+    (``"serial"`` / ``"threads"`` / ``"process"``) is constructed."""
+    if isinstance(kind, ExecutionBackend):
+        return kind
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "threads":
+        return ThreadBackend()
+    if kind == "process":
+        return ProcessPoolBackend(catalog, workers=pool_workers,
+                                  mp_context=mp_context)
+    raise ValueError(f"unknown backend {kind!r}; "
+                     "have 'serial', 'threads', 'process'")

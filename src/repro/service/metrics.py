@@ -1,0 +1,158 @@
+"""Serving-side telemetry: admission counters, latency quantiles, worker
+utilization.
+
+Everything here is designed for one writer pattern — many threads
+recording, one occasional reader — so every mutation takes the metrics
+lock and the reader gets a consistent snapshot from :meth:`as_dict`.
+The numbers are exactly what a ``/metrics`` endpoint of a query-serving
+tier exposes: queue depth and in-flight gauges, admission outcomes
+(admitted / rejected-queue-full / deadline timeouts / failures), the
+latency distribution (p50/p95 over a bounded reservoir of recent
+queries), and per-backend busy time from which worker utilization is
+derived.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Optional
+
+
+class LatencyTracker:
+    """Latency quantiles over a bounded window of recent observations.
+
+    Keeps the last *window* latencies in a ring buffer; quantiles are
+    computed on demand with linear interpolation (the common
+    "nearest-rank with interpolation" estimator).  Bounded memory, no
+    per-record sorting — record is O(1), quantile is O(window·log
+    window) and only paid by `stats()` readers.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._ring: list[float] = []
+        self._next = 0
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if len(self._ring) < self.window:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.window
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile (0..1) of the recorded window; 0.0 if empty."""
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        rank = q * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class ServerMetrics:
+    """Thread-safe counters and gauges for one :class:`QueryServer`."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self.latency = LatencyTracker(latency_window)
+        #: Admission outcomes.
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.timeouts = 0
+        self.completed = 0
+        self.failed = 0
+        #: Gauges.
+        self.queued = 0          # admitted, waiting for a dispatch slot
+        self.in_flight = 0       # currently executing
+        self.max_queued_seen = 0
+        self.max_in_flight_seen = 0
+        #: Backend busy time (seconds of query execution, summed across
+        #: dispatch slots) — utilization = busy / (wall · slots).
+        self.busy_seconds = 0.0
+        self._started_at = time.monotonic()
+
+    # -- admission ------------------------------------------------------------------
+    def try_admit(self, queue_limit: int) -> bool:
+        """Count a submission; admit unless the wait queue is full."""
+        with self._lock:
+            self.submitted += 1
+            if self.queued >= queue_limit:
+                self.rejected_queue_full += 1
+                return False
+            self.admitted += 1
+            self.queued += 1
+            self.max_queued_seen = max(self.max_queued_seen, self.queued)
+            return True
+
+    def unqueue(self) -> None:
+        """An admitted query left the wait queue without running (its
+        deadline expired first, or submission failed)."""
+        with self._lock:
+            self.queued -= 1
+
+    def start_execution(self) -> None:
+        with self._lock:
+            self.queued -= 1
+            self.in_flight += 1
+            self.max_in_flight_seen = max(self.max_in_flight_seen,
+                                          self.in_flight)
+
+    def finish_execution(self, seconds: float, ok: bool) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.busy_seconds += seconds
+            if ok:
+                self.completed += 1
+                self.latency.record(seconds)
+            else:
+                self.failed += 1
+
+    def count_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    # -- reading -------------------------------------------------------------------
+    def utilization(self, slots: int) -> float:
+        """Fraction of available dispatch-slot time spent executing."""
+        elapsed = time.monotonic() - self._started_at
+        if elapsed <= 0 or slots < 1:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * slots))
+
+    def as_dict(self, slots: int) -> dict:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected_queue_full": self.rejected_queue_full,
+                "timeouts": self.timeouts,
+                "completed": self.completed,
+                "failed": self.failed,
+                "queue_depth": self.queued,
+                "in_flight": self.in_flight,
+                "max_queue_depth": self.max_queued_seen,
+                "max_in_flight": self.max_in_flight_seen,
+                "latency_p50_ms": self.latency.quantile(0.50) * 1000.0,
+                "latency_p95_ms": self.latency.quantile(0.95) * 1000.0,
+                "latency_mean_ms": self.latency.mean * 1000.0,
+                "busy_seconds": self.busy_seconds,
+                "worker_utilization": self.utilization(slots),
+            }

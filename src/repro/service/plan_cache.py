@@ -26,6 +26,7 @@ Admission policy:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -139,3 +140,46 @@ class PlanCache(Generic[PlanT]):
         s = self.stats
         return (f"PlanCache({len(self._entries)}/{self.capacity} entries, "
                 f"{s.hits} hits / {s.misses} misses)")
+
+
+class SharedPlanCache(PlanCache[PlanT]):
+    """A concurrency-safe plan cache shared across many sessions.
+
+    The cross-session cache of the serving tier: one instance is handed
+    to every :class:`~repro.service.session.QuerySession` a
+    :class:`~repro.service.server.QueryServer` creates, so a plan
+    optimized on one dispatch thread serves every other.  Cached
+    :class:`~repro.optimizer.plans.PhysicalPlan` values are immutable
+    (frozen dataclasses) and lowered to fresh operator trees per
+    execution, so sharing the *values* is safe; this class only has to
+    make the cache *bookkeeping* (LRU order, TTL expiry, counters)
+    atomic, which one lock around each public operation does.  The
+    counters in :attr:`stats` are mutated exclusively under the lock, so
+    ``hits + misses == lookups`` holds at every observable instant.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 ttl_seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__(capacity, ttl_seconds, clock)
+        self._lock = threading.RLock()
+
+    def get(self, key: Hashable, stats_version: Hashable) -> Optional[PlanT]:
+        with self._lock:
+            return super().get(key, stats_version)
+
+    def put(self, key: Hashable, plan: PlanT, stats_version: Hashable) -> None:
+        with self._lock:
+            super().put(key, plan, stats_version)
+
+    def invalidate_all(self) -> int:
+        with self._lock:
+            return super().invalidate_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return super().__contains__(key)

@@ -1,0 +1,265 @@
+"""The concurrent query server: admission control, shared plan cache,
+pluggable execution backends.
+
+:class:`QueryServer` is the process-level serving tier on top of the
+:class:`~repro.service.session.QuerySession` facade.  Many concurrent
+clients — asyncio tasks via :meth:`QueryServer.submit`, plain threads
+via :meth:`QueryServer.execute` — funnel into one admission-controlled
+dispatch pool:
+
+1. **Admission** — a submission is rejected immediately
+   (:class:`QueryRejected`) when the wait queue already holds
+   ``queue_limit`` admitted-but-not-running queries; otherwise it queues
+   for one of ``max_inflight`` dispatch slots.
+2. **Planning** — each dispatch thread owns a private
+   :class:`QuerySession` (sessions are single-threaded by design), but
+   every session shares one
+   :class:`~repro.service.plan_cache.SharedPlanCache`: a plan optimized
+   for any client serves all of them, still keyed by
+   fingerprint × parallelism × referenced-table versions.
+3. **Execution** — the bound plan runs on the configured backend
+   (:mod:`repro.service.backends`): in-process serial/threaded, or the
+   **process pool**, which ships per-shard subplans to worker processes
+   and re-gathers them through the order-preserving merge — multi-core
+   parallelism the GIL denies the in-process backends.
+4. **Deadlines** — ``timeout`` (per call or ``default_timeout``) covers
+   queue wait + execution; an expired query raises
+   :class:`QueryTimeout` and is counted.  A query whose slot never
+   started is cancelled outright; one already running completes in the
+   background (its slot is not reclaimable mid-plan) but its result is
+   discarded.
+
+Observability: :meth:`QueryServer.stats` flattens the admission
+counters, latency quantiles (p50/p95), worker utilization, shared-cache
+counters and the aggregated per-session optimizer counters into one
+JSON-friendly dict — see :mod:`repro.service.metrics`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, fields
+from functools import partial
+from typing import Any, Optional
+
+from ..core.sort_order import SortOrder
+from ..storage.catalog import Catalog
+from .backends import ExecutionBackend, make_backend
+from .metrics import ServerMetrics
+from .plan_cache import SharedPlanCache
+from .session import QuerySession, SessionMetrics
+
+__all__ = ["QueryRejected", "QueryResult", "QueryServer", "QueryTimeout"]
+
+
+class QueryRejected(RuntimeError):
+    """Admission control turned the query away (wait queue full)."""
+
+
+class QueryTimeout(TimeoutError):
+    """The query missed its deadline (queue wait + execution)."""
+
+
+@dataclass
+class QueryResult:
+    """One served query: rows plus serving metadata."""
+
+    rows: list[tuple]
+    from_cache: bool
+    latency_seconds: float
+    backend: str
+
+
+class QueryServer:
+    """Admission-controlled concurrent query serving over one catalog.
+
+    Thread-safe and loop-agnostic: :meth:`submit` may be awaited from
+    any running event loop and :meth:`execute` called from any thread —
+    both funnel into the same dispatch pool, admission counters and
+    shared plan cache.
+    """
+
+    def __init__(self, catalog: Catalog, *,
+                 backend: Any = "serial",
+                 parallelism: int = 1,
+                 batch_size: Optional[int] = None,
+                 max_inflight: int = 4,
+                 queue_limit: int = 32,
+                 default_timeout: Optional[float] = None,
+                 cache_capacity: int = 256,
+                 cache_ttl: Optional[float] = None,
+                 strategy: str = "pyro-o",
+                 config: Any = None,
+                 pool_workers: Optional[int] = None,
+                 mp_context: Optional[str] = None,
+                 **overrides: Any) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.catalog = catalog
+        self.parallelism = parallelism
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.default_timeout = default_timeout
+        self.backend: ExecutionBackend = make_backend(
+            backend, catalog, pool_workers=pool_workers,
+            mp_context=mp_context)
+        self.cache: SharedPlanCache = SharedPlanCache(
+            cache_capacity, ttl_seconds=cache_ttl)
+        self.metrics = ServerMetrics()
+        self._strategy = strategy
+        self._config = config
+        self._overrides = overrides
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve")
+        self._local = threading.local()
+        self._sessions: list[QuerySession] = []
+        self._sessions_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the dispatch pool and release the backend; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dispatch.shutdown(wait=True, cancel_futures=True)
+        self.backend.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- sessions ---------------------------------------------------------------------
+    def _session(self) -> QuerySession:
+        """This dispatch thread's session (created on first use); all
+        sessions share :attr:`cache`."""
+        session = getattr(self._local, "session", None)
+        if session is None:
+            session = QuerySession(self.catalog, self._strategy, self._config,
+                                   cache=self.cache, **self._overrides)
+            self._local.session = session
+            with self._sessions_lock:
+                self._sessions.append(session)
+        return session
+
+    # -- the dispatch-thread body -------------------------------------------------------
+    def _run_admitted(self, query, required_order: Optional[SortOrder],
+                      parallelism: int, batch_size: Optional[int],
+                      binds: dict[str, Any],
+                      deadline: Optional[float]) -> QueryResult:
+        self.metrics.start_execution()
+        started = time.perf_counter()
+        ok = False
+        try:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise QueryTimeout("deadline expired while queued")
+            session = self._session()
+            prepared = session.prepare(query, required_order,
+                                       parallelism=parallelism)
+            plan = prepared.bind(**binds)
+            rows = self.backend.run_plan(plan, self.catalog,
+                                         parallelism=parallelism,
+                                         batch_size=batch_size)
+            # The dispatch path executes through the backend, not
+            # PreparedQuery.execute — keep the session's execution
+            # counter truthful for aggregated stats().
+            session.metrics.executions += 1
+            ok = True
+            return QueryResult(rows, prepared.from_cache,
+                               time.perf_counter() - started,
+                               self.backend.name)
+        finally:
+            self.metrics.finish_execution(time.perf_counter() - started, ok)
+
+    def _dispatch_query(self, query, required_order, parallelism, batch_size,
+                        binds, timeout):
+        """Admission + submission; returns (cfuture, timeout)."""
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        timeout = self.default_timeout if timeout is None else timeout
+        parallelism = self.parallelism if parallelism is None else parallelism
+        batch_size = self.batch_size if batch_size is None else batch_size
+        if not self.metrics.try_admit(self.queue_limit):
+            raise QueryRejected(
+                f"admission queue full ({self.queue_limit} waiting)")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        future = self._dispatch.submit(
+            partial(self._run_admitted, query, required_order, parallelism,
+                    batch_size, binds, deadline))
+        # A submission cancelled before its slot started never reaches
+        # _run_admitted; reclaim its queue slot here.
+        future.add_done_callback(
+            lambda f: self.metrics.unqueue() if f.cancelled() else None)
+        return future, timeout
+
+    # -- client APIs ------------------------------------------------------------------
+    async def submit(self, query, required_order: Optional[SortOrder] = None,
+                     *, parallelism: Optional[int] = None,
+                     batch_size: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     **binds: Any) -> QueryResult:
+        """Serve one query from an asyncio client.
+
+        Raises :class:`QueryRejected` immediately when the wait queue is
+        full, :class:`QueryTimeout` when the deadline passes first.
+        """
+        future, timeout = self._dispatch_query(
+            query, required_order, parallelism, batch_size, binds, timeout)
+        wrapped = asyncio.wrap_future(future)
+        try:
+            if timeout is None:
+                return await wrapped
+            return await asyncio.wait_for(wrapped, timeout)
+        except (TimeoutError, QueryTimeout) as exc:
+            self.metrics.count_timeout()
+            raise QueryTimeout(str(exc) or "query deadline expired") from None
+
+    def execute(self, query, required_order: Optional[SortOrder] = None,
+                *, parallelism: Optional[int] = None,
+                batch_size: Optional[int] = None,
+                timeout: Optional[float] = None, **binds: Any) -> QueryResult:
+        """Serve one query from a plain (non-async) thread client."""
+        future, timeout = self._dispatch_query(
+            query, required_order, parallelism, batch_size, binds, timeout)
+        try:
+            return future.result(timeout)
+        except (TimeoutError, QueryTimeout) as exc:
+            future.cancel()
+            self.metrics.count_timeout()
+            raise QueryTimeout(str(exc) or "query deadline expired") from None
+
+    # -- observability -----------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Flat serving metrics: admission, latency, utilization, shared
+        cache, aggregated session/optimizer counters, backend config."""
+        out: dict[str, Any] = dict(self.metrics.as_dict(self.max_inflight))
+        out.update(self.backend.describe())
+        out["max_inflight_limit"] = self.max_inflight
+        out["queue_limit"] = self.queue_limit
+        out["parallelism"] = self.parallelism
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        out["sessions"] = len(sessions)
+        totals = SessionMetrics()
+        for session in sessions:
+            for f in fields(SessionMetrics):
+                setattr(totals, f.name, getattr(totals, f.name)
+                        + getattr(session.metrics, f.name))
+        for f in fields(SessionMetrics):
+            out[f.name] = getattr(totals, f.name)
+        out["cache_size"] = len(self.cache)
+        out["cache_capacity"] = self.cache.capacity
+        out["cache_ttl_seconds"] = self.cache.ttl_seconds
+        for name, value in self.cache.stats.as_dict().items():
+            out[f"cache_{name}"] = value
+        return out

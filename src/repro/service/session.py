@@ -176,6 +176,9 @@ class SessionMetrics:
     #: shard an *aggregation* (per-shard aggregates + final combine).
     sharded_join_plans: int = 0
     sharded_agg_plans: int = 0
+    #: Fresh plans that shard a *DISTINCT*: per-shard Dedup under a
+    #: MergeExchange with a merge-level final dedup.
+    sharded_distinct_plans: int = 0
 
 
 class PreparedQuery:
@@ -251,11 +254,17 @@ class QuerySession:
     def __init__(self, catalog: Catalog, strategy: str = "pyro-o",
                  config: Optional[OptimizerConfig] = None,
                  cache_capacity: int = 128,
-                 cache_ttl: Optional[float] = None, **overrides: Any) -> None:
+                 cache_ttl: Optional[float] = None,
+                 cache: Optional[PlanCache[PhysicalPlan]] = None,
+                 **overrides: Any) -> None:
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, strategy, config, **overrides)
-        self.cache: PlanCache[PhysicalPlan] = PlanCache(
-            cache_capacity, ttl_seconds=cache_ttl)
+        #: *cache* may be a shared, cross-session instance (the serving
+        #: tier passes one :class:`~repro.service.plan_cache.SharedPlanCache`
+        #: to every session it creates); ``cache_capacity``/``cache_ttl``
+        #: then belong to the shared cache's owner and are ignored here.
+        self.cache: PlanCache[PhysicalPlan] = cache if cache is not None \
+            else PlanCache(cache_capacity, ttl_seconds=cache_ttl)
         self.metrics = SessionMetrics()
 
     # -- public API ------------------------------------------------------------------
@@ -300,6 +309,8 @@ class QuerySession:
                 self.metrics.sharded_join_plans += 1
             if plan.find_all("SortedCombine"):
                 self.metrics.sharded_agg_plans += 1
+            if any(c.op == "Dedup" for g in gathers for c in g.children):
+                self.metrics.sharded_distinct_plans += 1
             if gathers:
                 self.metrics.shard_merge_plans += 1
             elif any(shardable_enforcement_input(node.children[0], self.catalog,
@@ -352,6 +363,7 @@ class QuerySession:
             "post_union_sort_plans": self.metrics.post_union_sort_plans,
             "sharded_join_plans": self.metrics.sharded_join_plans,
             "sharded_agg_plans": self.metrics.sharded_agg_plans,
+            "sharded_distinct_plans": self.metrics.sharded_distinct_plans,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_ttl_seconds": self.cache.ttl_seconds,

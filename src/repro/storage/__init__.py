@@ -1,6 +1,7 @@
 """Storage substrate: schemas, tables, indexes, statistics, catalog."""
 
 from .catalog import Catalog, SystemParameters
+from .handoff import CatalogPayload, build_catalog, catalog_payload
 from .schema import Column, FunctionalDependency, Schema
 from .statistics import (
     DEFAULT_BLOCK_SIZE,
@@ -14,6 +15,7 @@ from .table import Index, RangePartitioning, Table
 
 __all__ = [
     "Catalog",
+    "CatalogPayload",
     "Column",
     "DEFAULT_BLOCK_SIZE",
     "FunctionalDependency",
@@ -25,6 +27,8 @@ __all__ = [
     "Table",
     "TableStats",
     "blocks_for",
+    "build_catalog",
+    "catalog_payload",
     "measure_partitions",
     "measure_shards",
 ]

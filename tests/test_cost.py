@@ -187,3 +187,17 @@ class TestShardedFormulas:
                     + cm.merge_exchange(partial_rows, 4)
                     + cm.combine_groups(partial_rows))
         assert cm.sharded_agg(views, ["a"]) == pytest.approx(expected)
+
+    def test_sharded_dedup_equals_per_shard_dedups_plus_final(self):
+        cm = make()
+        views = [stats(n, {"a": d, "b": 5, "c": 2}) for n, d in
+                 ((1000, 10), (600, 40), (300, 300), (100, 5))]
+        columns = ["a", "b", "c"]
+        partial_rows = sum(v.distinct_of_set(columns) for v in views)
+        expected = (sum(cm.dedup(v) for v in views)
+                    + cm.merge_exchange(partial_rows, 4)
+                    + cm.cpu(partial_rows))
+        assert cm.sharded_dedup(views, columns) == pytest.approx(expected)
+        # Disjoint partitions drop the merge term entirely.
+        assert cm.sharded_dedup(views, columns, disjoint_merge=True) == \
+            pytest.approx(expected - cm.merge_exchange(partial_rows, 4))

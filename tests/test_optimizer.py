@@ -235,3 +235,111 @@ class TestPlanStructure:
     def test_cost_of_helper(self, stats_catalog):
         q = Query.table("r").order_by("b")
         assert Optimizer(stats_catalog).cost_of(q) > 0
+
+
+class TestPerSubtreeEquivalenceScoping:
+    """Equivalence classes, like FDs since the fuzz-suite fixes, must be
+    scoped to the subtree they were established in: a join equality in
+    one union branch says nothing about a name-colliding sibling branch.
+    The logical trees here are built with raw algebra nodes — the Query
+    builder cannot express two branches that reuse column names."""
+
+    def colliding_union(self):
+        """Left branch joins on a = c (so a ≡ c holds *there*); the right
+        branch scans t3(a, c) where a ≠ c on most rows and only c is
+        clustered.  ORDER BY (a, c) must fully sort the right branch."""
+        import random
+
+        from repro.expr.expressions import JoinPredicate
+        from repro.logical.algebra import (
+            BaseRelation,
+            Join,
+            OrderBy,
+            Project,
+            Union,
+        )
+
+        rng = random.Random(7)
+        catalog = Catalog()
+        catalog.create_table(
+            "t1", Schema.of(("a", "int", 8), ("b", "int", 8)),
+            rows=[(i % 6, i) for i in range(30)],
+            clustering_order=SortOrder(["a"]))
+        catalog.create_table(
+            "t2", Schema.of(("c", "int", 8), ("d", "int", 8)),
+            rows=[(i % 6, i * 2) for i in range(12)],
+            clustering_order=SortOrder(["c"]))
+        catalog.create_table(
+            "t3", Schema.of(("a", "int", 8), ("c", "int", 8)),
+            rows=sorted([(rng.randrange(8), i % 7) for i in range(40)],
+                        key=lambda r: r[1]),
+            clustering_order=SortOrder(["c"]))
+        left = Project(Join(BaseRelation("t1"), BaseRelation("t2"),
+                            JoinPredicate([("a", "c")])), ("a", "c"))
+        expr = OrderBy(Union(left, BaseRelation("t3")),
+                       SortOrder(["a", "c"]))
+        lrows = {(a, c) for a, _ in catalog.table("t1").rows
+                 for c, _ in catalog.table("t2").rows if a == c}
+        expected = sorted(lrows | set(catalog.table("t3").rows))
+        return catalog, expr, expected
+
+    def test_name_colliding_sibling_union_branches(self):
+        """Regression: with whole-query classes the sibling branch's
+        a ≡ c reduced the root requirement to (a) and the right branch
+        was never sorted on c."""
+        catalog, expr, expected = self.colliding_union()
+        plan = Optimizer(catalog).optimize(expr)
+        ctx = ExecutionContext(catalog, check_orders=True)
+        assert plan.execute(catalog, ctx) == expected
+
+    def test_equivalence_valid_in_both_branches_still_transfers(self):
+        """The intersection must not throw away facts that do hold in
+        both branches: identical join branches keep a ≡ c, so neither
+        branch re-sorts for ORDER BY (a, c)."""
+        from repro.expr.expressions import JoinPredicate
+        from repro.logical.algebra import (
+            BaseRelation,
+            Join,
+            OrderBy,
+            Project,
+            Union,
+        )
+
+        catalog = Catalog()
+        catalog.create_table(
+            "t1", Schema.of(("a", "int", 8), ("b", "int", 8)),
+            rows=[(i % 6, i) for i in range(30)],
+            clustering_order=SortOrder(["a"]))
+        catalog.create_table(
+            "t2", Schema.of(("c", "int", 8), ("d", "int", 8)),
+            rows=[(i % 6, i * 2) for i in range(12)],
+            clustering_order=SortOrder(["c"]))
+
+        def branch():
+            return Project(Join(BaseRelation("t1"), BaseRelation("t2"),
+                                JoinPredicate([("a", "c")])), ("a", "c"))
+
+        expr = OrderBy(Union(branch(), branch()), SortOrder(["a", "c"]))
+        plan = Optimizer(catalog).optimize(expr)
+        assert plan.find_all("Sort") == []  # both branches deliver (a)≡(a, c)
+        ctx = ExecutionContext(catalog, check_orders=True)
+        rows = plan.execute(catalog, ctx)
+        assert rows == sorted({(a, c) for a, _ in catalog.table("t1").rows
+                               for c, _ in catalog.table("t2").rows
+                               if a == c})
+
+    def test_union_intersects_fds_across_branches(self):
+        """query_fds at a Union keeps only dependencies both branches
+        entail (cross-branch FD leakage at the union level)."""
+        from repro.logical.algebra import BaseRelation, Select, Union
+        from repro.logical.fds import query_fds
+
+        catalog, _, _ = self.colliding_union()
+        left = Select(BaseRelation("t3"), col("a").eq(3))  # a constant here
+        right = BaseRelation("t3")
+        union_fds = query_fds(catalog, Union(left, right))
+        assert union_fds.reduce_order(SortOrder(["a", "c"])) == \
+            SortOrder(["a", "c"])  # the sibling's constant must not leak
+        left_fds = query_fds(catalog, left)
+        assert left_fds.reduce_order(SortOrder(["a", "c"])) == \
+            SortOrder(["c"])  # within the branch it still applies

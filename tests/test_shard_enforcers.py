@@ -341,6 +341,90 @@ class TestShardedAggregates:
         assert session.execute(query, parallelism=4) == reference
 
 
+def duplicate_heavy_catalog(seed=5, memory_blocks=100):
+    """5000 × 216-byte rows, every tuple duplicated once, small column
+    domains: measured per-shard distinct counts sit well below the shard
+    row counts, so deduplicating *below* the merge shrinks the gather,
+    while the hash-dedup's output sort spills and per-shard sorts fit."""
+    import random
+
+    from repro.storage import Catalog, Schema
+
+    rng = random.Random(seed)
+    catalog = Catalog(SystemParameters(sort_memory_blocks=memory_blocks))
+    schema = Schema.of(("a", "int", 8), ("b", "int", 200), ("c", "int", 8))
+    base = [(rng.randrange(40), rng.randrange(10), rng.randrange(5))
+            for _ in range(2500)]
+    rows = base * 2
+    rng.shuffle(rows)
+    catalog.create_table("t", schema, rows=rows,
+                         clustering_order=SortOrder(["a"]))
+    return catalog
+
+
+class TestShardedDistinct:
+    def test_per_shard_dedup_under_merge_with_final_dedup(self):
+        catalog = duplicate_heavy_catalog()
+        # ORDER BY leads off-clustering so the enforcers are full sorts.
+        query = Query.table("t").distinct().order_by("b", "c", "a")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+
+        root = prepared.plan
+        assert root.op == "Dedup"           # merge-level final dedup
+        merge = root.children[0]
+        assert merge.op == "MergeExchange"
+        assert [c.op for c in merge.children] == ["Dedup"] * 4
+        assert all(c.children[0].op == "Sort" for c in merge.children)
+        assert session.stats()["sharded_distinct_plans"] == 1
+
+        reference = session.execute(query)
+        assert len(set(reference)) == len(reference)  # really DISTINCT
+        assert reference == sorted(reference,
+                                   key=lambda r: (r[1], r[2], r[0]))
+        for batch_size in (1, 64, None):
+            assert session.execute(query, parallelism=4,
+                                   batch_size=batch_size) == reference
+        checked = ExecutionContext(catalog, check_orders=True)
+        assert prepared.execute(ctx=checked) == reference
+
+    def test_cost_gate_keeps_unsharded_dedup_when_not_cheaper(self):
+        """High-cardinality rows: per-shard distincts equal the shard row
+        counts, so deduplicating below the merge saves nothing and the
+        extra final-dedup pass loses the gate."""
+        import random
+
+        from repro.storage import Catalog, Schema
+
+        rng = random.Random(2)
+        catalog = Catalog(SystemParameters(sort_memory_blocks=40))
+        schema = Schema.of(("a", "int", 8), ("b", "int", 64), ("c", "int", 8))
+        base = [(rng.randrange(2000), rng.randrange(2000), rng.randrange(2000))
+                for _ in range(2500)]
+        rows = base * 2
+        rng.shuffle(rows)
+        catalog.create_table("t", schema, rows=rows,
+                             clustering_order=SortOrder(["a"]))
+        query = Query.table("t").distinct().order_by("b", "a", "c")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=4)
+        # The enforcers still go per shard, but the dedup stays above.
+        root = prepared.plan
+        assert root.op == "Dedup"
+        assert root.children[0].op == "MergeExchange"
+        assert all(c.op == "Sort" for c in root.children[0].children)
+        assert session.stats()["sharded_distinct_plans"] == 0
+        assert session.execute(query, parallelism=4) == session.execute(query)
+
+    def test_parallelism_one_never_shards_distinct(self):
+        catalog = duplicate_heavy_catalog()
+        query = Query.table("t").distinct().order_by("b", "c", "a")
+        session = QuerySession(catalog)
+        prepared = session.prepare(query, parallelism=1)
+        assert prepared.plan.find_all("MergeExchange") == []
+        assert session.stats()["sharded_distinct_plans"] == 0
+
+
 def skewed_range_catalog(seed=17, memory_blocks=150):
     """8000 × 200-byte rows (400 blocks — a post-union SRS spills) with a
     range partitioning whose first partition holds ~90% of the rows: the
