@@ -1,0 +1,162 @@
+"""Join-ordering benchmark: plan quality × search cost per enumerator.
+
+Runs the three :class:`~repro.optimizer.pipeline.JoinOrderEnumerator`
+implementations over the paper's Fig. 16 queries and the synthetic
+many-join workload (:func:`repro.workloads.many_join_catalog` /
+:func:`~repro.workloads.many_join_query`), reporting two axes:
+
+* **plan quality** — the chosen plan's estimated cost under the default
+  PYRO-O order strategy;
+* **search cost** — optimizer goals examined and stage-2 enumerator
+  wall time, measured under the exhaustive PYRO-E order strategy, where
+  a multi-attribute join goal costs its full permutation fan-out.  The
+  paper's PYRO-O already caps that fan-out with favorable orders, so
+  PYRO-E is where committing to one join order up front pays: on the
+  many-join workload the as-written five-attribute bridge join explodes
+  into 120 interesting orders while the Simpli-Squared left-deep
+  rewrite never sorts on more than two attributes.  The regression gate
+  holds the exhaustive/simpli-squared goal ratio at ≥ 5x.
+
+Two modes, like the other benches:
+
+* ``pytest benchmarks/bench_join_ordering.py`` — full run with the
+  shared results sink;
+* ``python benchmarks/bench_join_ordering.py [--smoke]`` — standalone
+  script (CI's fast smoke job), no pytest required.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import format_table
+from repro.optimizer import Optimizer
+from repro.workloads import many_join_catalog, many_join_query
+
+ENUMERATOR_NAMES = ("exhaustive", "simpli-squared", "greedy-m2m")
+
+#: The regression bar: simpli-squared must search at least this many
+#: times fewer goals than exhaustive on the many-join workload.
+SEARCH_RATIO_BAR = 5.0
+
+
+def _bench_cases(include_fig16: bool = True):
+    cases = []
+    if include_fig16:
+        from bench_plan_cache import bench_cases
+        cases.extend(bench_cases())
+    cases.append(("many_join", many_join_catalog(), many_join_query()))
+    return cases
+
+
+# -- plan quality ------------------------------------------------------------------------
+def run_plan_quality_benchmark(include_fig16: bool = True):
+    """Chosen-plan cost per (query, enumerator) under default PYRO-O.
+
+    Returns (table rows, exhaustive cost per query).  The exhaustive
+    costs are the bit-identical pre-pipeline plans — ``check_regression``
+    gates them against ``BENCH_baseline.json``.
+    """
+    rows = []
+    exhaustive_costs: dict[str, float] = {}
+    for name, catalog, query in _bench_cases(include_fig16):
+        costs = {}
+        for enum in ENUMERATOR_NAMES:
+            optimizer = Optimizer(catalog, join_enumerator=enum)
+            costs[enum] = optimizer.optimize(query).total_cost
+        exhaustive_costs[name] = costs["exhaustive"]
+        rows.append([name] + [round(costs[e], 1) for e in ENUMERATOR_NAMES]
+                    + [f"{costs['exhaustive'] / costs['simpli-squared']:.3f}",
+                       f"{costs['exhaustive'] / costs['greedy-m2m']:.3f}"])
+    return rows, exhaustive_costs
+
+
+# -- search cost -------------------------------------------------------------------------
+def run_search_cost_benchmark():
+    """Goals examined + enumerator time per enumerator on the many-join
+    workload under PYRO-E (exhaustive interesting orders).
+
+    Returns (table rows, metrics dict); asserts the ≥ 5x search-effort
+    bar and that the reordering enumerators never produce a *worse*
+    plan on this workload.
+    """
+    catalog, query = many_join_catalog(), many_join_query()
+    rows = []
+    goals: dict[str, int] = {}
+    costs: dict[str, float] = {}
+    for enum in ENUMERATOR_NAMES:
+        optimizer = Optimizer(catalog, strategy="pyro-e",
+                              join_enumerator=enum)
+        plan = optimizer.optimize(query)
+        telemetry = optimizer.last_telemetry
+        goals[enum] = int(telemetry["goals_examined"])
+        costs[enum] = plan.total_cost
+        rows.append([enum, goals[enum],
+                     int(telemetry["goals_pruned"]),
+                     int(telemetry["join_order_candidates"]),
+                     round(telemetry["enumerator_seconds"] * 1e3, 3),
+                     round(plan.total_cost, 1)])
+    ratio = goals["exhaustive"] / max(1, goals["simpli-squared"])
+    assert ratio >= SEARCH_RATIO_BAR, (
+        f"simpli-squared searched only {ratio:.2f}x fewer goals than "
+        f"exhaustive on the many-join workload (bar: {SEARCH_RATIO_BAR}x)")
+    for enum in ("simpli-squared", "greedy-m2m"):
+        assert costs[enum] <= costs["exhaustive"] * 1.001, (
+            f"{enum} chose a worse plan than as-written on many_join: "
+            f"{costs[enum]} vs {costs['exhaustive']}")
+    metrics = {
+        "join_order_search_ratio": round(ratio, 3),
+        "join_order_goals_exhaustive": float(goals["exhaustive"]),
+        "join_order_goals_simpli": float(goals["simpli-squared"]),
+    }
+    return rows, metrics
+
+
+QUALITY_HEADERS = (["query"] + [f"cost ({e})" for e in ENUMERATOR_NAMES]
+                   + ["exh/simpli", "exh/greedy"])
+SEARCH_HEADERS = ["enumerator", "goals examined", "goals pruned",
+                  "candidates", "enumerator ms", "plan cost"]
+
+
+# -- pytest entry points -----------------------------------------------------------------
+def test_join_order_plan_quality(benchmark, results_sink):
+    rows, exhaustive_costs = benchmark.pedantic(
+        run_plan_quality_benchmark, rounds=1, iterations=1)
+    assert set(exhaustive_costs) == {"Q3", "Q4", "Q5", "Q6", "many_join"}
+    results_sink(format_table(
+        QUALITY_HEADERS, rows,
+        title=("Join ordering — plan cost per enumerator "
+               "(PYRO-O, Fig. 16 queries + many-join workload)")))
+    benchmark.extra_info["join_order_quality"] = rows
+
+
+def test_join_order_search_cost(benchmark, results_sink):
+    rows, metrics = benchmark.pedantic(
+        run_search_cost_benchmark, rounds=1, iterations=1)
+    assert metrics["join_order_search_ratio"] >= SEARCH_RATIO_BAR
+    results_sink(format_table(
+        SEARCH_HEADERS, rows,
+        title=("Join ordering — search cost per enumerator "
+               "(PYRO-E, many-join workload)")))
+    benchmark.extra_info["join_order_search"] = metrics
+
+
+# -- standalone / CI smoke ---------------------------------------------------------------
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    quality_rows, _ = run_plan_quality_benchmark(include_fig16=not smoke)
+    print(format_table(QUALITY_HEADERS, quality_rows,
+                       title="Join ordering — plan quality (PYRO-O)"))
+    print()
+    search_rows, metrics = run_search_cost_benchmark()
+    print(format_table(SEARCH_HEADERS, search_rows,
+                       title="Join ordering — search cost (PYRO-E, many-join)"))
+    print(f"\nsearch ratio exhaustive/simpli-squared: "
+          f"{metrics['join_order_search_ratio']:.2f}x (bar {SEARCH_RATIO_BAR}x)")
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

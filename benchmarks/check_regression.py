@@ -1,8 +1,9 @@
 """Benchmark-regression gate for CI.
 
-Runs the smoke configurations of ``bench_plan_cache`` and
-``bench_scalability``, collects a small set of serving/execution
-metrics, and compares them against the checked-in
+Runs the smoke configurations of ``bench_plan_cache``,
+``bench_join_ordering``, ``bench_scalability`` and ``bench_serving``,
+collects a small set of optimizer/serving/execution metrics, and
+compares them against the checked-in
 ``BENCH_baseline.json``.  Any metric regressing by more than the
 baseline's tolerance (default 20%) fails the build.
 
@@ -27,6 +28,10 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 sys.path.insert(0, str(BENCH_DIR))
 
+from bench_join_ordering import (  # noqa: E402
+    run_plan_quality_benchmark,
+    run_search_cost_benchmark,
+)
 from bench_plan_cache import run_cache_benchmark, run_pruning_benchmark  # noqa: E402
 from bench_scalability import (  # noqa: E402
     run_batch_speedup,
@@ -55,6 +60,17 @@ def collect_metrics() -> tuple[dict[str, float], set[str]]:
     pruning_rows = run_pruning_benchmark(strategies=("pyro-o",))
     for _strategy, name, _exact, bounded, _pct in pruning_rows:
         metrics[f"goals_bounded_{name}"] = float(bounded)
+
+    # Join ordering: the default exhaustive enumerator must keep
+    # producing the pre-pipeline plan costs on the Fig. 16 queries
+    # (deterministic cost units, gated tightly), and simpli-squared
+    # must keep its >= 5x search-effort advantage on the many-join
+    # workload (the 5x bar itself is asserted inside the bench).
+    _, exhaustive_costs = run_plan_quality_benchmark()
+    for name, cost in exhaustive_costs.items():
+        metrics[f"join_plan_cost_{name}"] = round(float(cost), 1)
+    _, search = run_search_cost_benchmark()
+    metrics["join_order_search_ratio"] = search["join_order_search_ratio"]
 
     exec_result = run_batch_speedup(num_rows=30_000, repeats=2)
     metrics["batch_speedup"] = round(exec_result["speedup"], 3)
@@ -142,7 +158,7 @@ def write_baseline(metrics: dict[str, float]) -> None:
         higher_is_better = name.startswith(
             ("cache_hit_rate", "batch_speedup", "serving_speedup",
              "serving_cache_hit_rate", "shard_merge_advantage",
-             "sharded_join_advantage"))
+             "sharded_join_advantage", "join_order_search_ratio"))
         if name in pinned:
             value = pinned[name]
         specs[name] = {"value": value, "higher_is_better": higher_is_better}

@@ -1,13 +1,30 @@
-"""Volcano-style cost-based optimizer with order-aware enforcers."""
+"""Volcano-style cost-based optimizer with order-aware enforcers,
+staged as a pipeline (see :mod:`repro.optimizer.pipeline`)."""
 
 from .cost import CostModel
+from .pipeline import (
+    ENUMERATORS,
+    ExhaustiveEnumerator,
+    GreedyManyToManyEnumerator,
+    JoinOrderEnumerator,
+    OptimizationPipeline,
+    SimpliSquaredEnumerator,
+    make_enumerator,
+)
 from .plans import PhysicalPlan, make_plan
 from .volcano import Optimizer, OptimizerConfig
 
 __all__ = [
     "CostModel",
+    "ENUMERATORS",
+    "ExhaustiveEnumerator",
+    "GreedyManyToManyEnumerator",
+    "JoinOrderEnumerator",
+    "OptimizationPipeline",
     "Optimizer",
     "OptimizerConfig",
     "PhysicalPlan",
+    "SimpliSquaredEnumerator",
+    "make_enumerator",
     "make_plan",
 ]

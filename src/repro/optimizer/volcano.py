@@ -18,79 +18,53 @@ unions come from a pluggable :class:`~repro.core.interesting.OrderStrategy`
 one search engine.  Phase-2 refinement (Section 5.2.2) lives in
 :mod:`repro.core.refinement` and re-enters this optimizer with a
 :class:`~repro.core.interesting.ForcedOrderStrategy`.
+
+Since the staged-pipeline refactor this module is the *driver*: the
+search itself lives in :mod:`repro.optimizer.pipeline` as four explicit
+stages (pre-check → join enumeration → physical selection →
+parameterization) composed by an
+:class:`~repro.optimizer.pipeline.OptimizationPipeline`.  The
+:class:`Optimizer` facade builds one pipeline from its
+:class:`~repro.optimizer.pipeline.OptimizerConfig` and every entry
+point — ``optimize``, phase-2 refinement, ``cost_of`` — reuses it;
+:class:`OptimizationRun` drives stages 2–4 for a single query, running
+one :class:`~repro.optimizer.pipeline.PhysicalSelection` search per
+join-order candidate tree and keeping the cheapest plan.  See
+``docs/optimizer.md``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace
-from typing import Iterable, Optional, Sequence
+import time
+from dataclasses import replace
+from typing import Optional
 
-from ..core.favorable import FavorableOrders
-from ..core.interesting import (
-    ForcedOrderStrategy,
-    OrderContext,
-    OrderStrategy,
-    make_strategy,
-)
-from ..core.sort_order import (
-    AttributeEquivalence,
-    EMPTY_ORDER,
-    SortOrder,
-    longest_common_prefix,
-)
-from ..engine.aggregates import combinable
-from ..engine.exchange import ORDER_PRESERVING_UNARY_OPS
-from ..engine.scans import range_shardable, shardable
-from ..expr.expressions import JoinPredicate
-from ..logical.algebra import (
-    Annotator,
-    BaseRelation,
-    Compute,
-    Distinct,
-    GroupBy,
-    Join,
-    Limit,
-    LogicalExpr,
-    OrderBy,
-    Project,
-    Select,
-    Union,
-)
+from ..core.interesting import ForcedOrderStrategy, OrderStrategy
+from ..core.sort_order import EMPTY_ORDER, SortOrder
+from ..logical.algebra import LogicalExpr, OrderBy, referenced_tables
 from ..logical.builder import Query
-from ..logical.fds import FDSet, query_fds
 from ..storage.catalog import Catalog
-from ..storage.schema import Schema
-from ..storage.statistics import StatsView
-from .cost import CostModel, prefer_sharded
-from .plans import PhysicalPlan, make_plan
+from .plans import PhysicalPlan
+from .pipeline import (
+    ExhaustiveEnumerator,
+    OptimizationPipeline,
+    OptimizerConfig,
+    PhysicalSelection,
+    parameterize,
+)
+# Re-exported for compatibility: these lived here before the pipeline
+# refactor and the serving layer imports them from this module.
+from .pipeline.physical_selection import (  # noqa: F401
+    SHARD_TRANSPARENT_OPS,
+    _SHARDABLE_SCAN_OPS,
+    enforcement_chain_scan,
+    shardable_enforcement_input,
+)
 
-
-@dataclass
-class OptimizerConfig:
-    """Feature switches; defaults correspond to PYRO-O."""
-
-    strategy: str = "pyro-o"
-    partial_sort_enforcers: bool = True
-    refine: bool = True
-    enable_hash_join: bool = True
-    enable_nested_loops: bool = False
-    enable_hash_aggregate: bool = True
-    use_favorable_orders_everywhere: bool = True
-    #: Branch-and-bound pruning: skip subgoals/enforcers that provably
-    #: cannot beat the best plan found so far for the current goal.  The
-    #: chosen plan is identical either way; only search effort changes.
-    cost_bound_pruning: bool = True
-    #: Shard fan-out the plan will execute with (``QuerySession`` passes
-    #: the execution-time ``parallelism`` knob through).  At 1 the search
-    #: is oblivious to sharding; above 1 enforcers may be placed below a
-    #: :class:`MergeExchange`, shard by shard, when that is cheaper.
-    parallelism: int = 1
-    #: Master switch for the per-shard enforcer placement — off forces
-    #: the pre-shard-aware behaviour (one post-union sort above the
-    #: exchange) even at ``parallelism > 1``; used as the baseline in
-    #: benchmarks and regression tests.
-    shard_aware_enforcers: bool = True
+#: Search-effort counters aggregated across every per-candidate search
+#: of a run — the per-stage telemetry surfaced by ``QuerySession.stats``.
+_SEARCH_COUNTERS = ("goals_examined", "goals_pruned", "goals_failed",
+                    "goals_researched", "memo_hits", "failure_memo_hits")
 
 
 def split_required_order(query, required_order: Optional[SortOrder] = None
@@ -120,14 +94,16 @@ class Optimizer:
             if not hasattr(config, key):
                 raise TypeError(f"unknown optimizer option {key!r}")
             setattr(config, key, value)
-        strategy_obj, partial = make_strategy(config.strategy)
-        if not partial:
-            # Honour the registry flag: any partial-disabled variant in
-            # STRATEGY_VARIANTS (not just "pyro-o-") loses its enforcers.
-            config.partial_sort_enforcers = False
         self.catalog = catalog
-        self.config = config
-        self._strategy = strategy_obj
+        #: Stage 1 runs here, once: every later entry point — optimize,
+        #: refinement, cost_of — reuses this pipeline (same resolved
+        #: strategy *and* enumerator), never a rebuilt default.
+        self.pipeline = OptimizationPipeline.from_config(config)
+        self.config = self.pipeline.config
+        self._strategy = self.pipeline.strategy
+        #: Per-stage telemetry of the most recent :meth:`optimize` call
+        #: (refinement re-searches included); see ``docs/optimizer.md``.
+        self.last_telemetry: dict[str, float] = {}
 
     def optimize(self, query, required_order: Optional[SortOrder] = None,
                  refine: Optional[bool] = None,
@@ -141,1105 +117,157 @@ class Optimizer:
         execution-time knob through).
         """
         expr, required = split_required_order(query, required_order)
-        config = self._config_for(parallelism)
-        run = OptimizationRun(self.catalog, expr, self._strategy, config)
-        plan = run.optimize_goal(expr, required)
-        plan = run.ensure_schema(plan, expr)
+        pipeline = self._pipeline_for(parallelism)
+        run = OptimizationRun(self.catalog, expr, pipeline.strategy,
+                              pipeline.config, pipeline=pipeline)
+        plan = run.optimize(required)
+        self.last_telemetry = run.telemetry()
         do_refine = self.config.refine if refine is None else refine
         if do_refine:
             from ..core.refinement import refine_plan
-            plan = refine_plan(self, expr, required, plan,
-                               parallelism=config.parallelism)
+            # Refine the tree the run actually chose — under a
+            # reordering enumerator the as-written tree may not match
+            # the plan's join shape.
+            plan = refine_plan(self, run.chosen_tree, required, plan,
+                               parallelism=pipeline.config.parallelism)
         return plan
 
     def optimize_with_forced_orders(self, expr: LogicalExpr, required: SortOrder,
                                     forced: dict[LogicalExpr, SortOrder],
                                     parallelism: Optional[int] = None) -> PhysicalPlan:
-        """Re-plan with explicit permutations at given nodes (phase 2)."""
-        strategy = ForcedOrderStrategy(self._strategy, forced)
-        run = OptimizationRun(self.catalog, expr, strategy,
-                              self._config_for(parallelism))
+        """Re-plan with explicit permutations at given nodes (phase 2).
+
+        Join enumeration is *not* re-run: phase 2 pins orders onto nodes
+        of an already-chosen tree, so the tree is searched as given.
+        """
+        pipeline = self._pipeline_for(parallelism)
+        strategy = ForcedOrderStrategy(pipeline.strategy, forced)
+        run = OptimizationRun(self.catalog, expr, strategy, pipeline.config)
         plan = run.optimize_goal(expr, required or EMPTY_ORDER)
-        return run.ensure_schema(plan, expr)
+        plan = run.ensure_schema(plan, expr)
+        self._merge_telemetry(run.telemetry())
+        return plan
+
+    def _pipeline_for(self, parallelism: Optional[int]) -> OptimizationPipeline:
+        """The constructed pipeline at the requested shard fan-out —
+        never a rebuilt default (same strategy/enumerator objects)."""
+        return self.pipeline.with_parallelism(parallelism)
 
     def _config_for(self, parallelism: Optional[int]) -> OptimizerConfig:
-        if parallelism is None or parallelism == self.config.parallelism:
-            return self.config
-        return replace(self.config, parallelism=max(1, parallelism))
+        return self._pipeline_for(parallelism).config
 
     def cost_of(self, query, required_order: Optional[SortOrder] = None,
                 parallelism: Optional[int] = None) -> float:
         return self.optimize(query, required_order,
                              parallelism=parallelism).total_cost
 
-
-#: Plan ops transparent to sharding — the engine's order-preserving
-#: per-row unaries, by name (single source of truth: engine/exchange.py).
-SHARD_TRANSPARENT_OPS = ORDER_PRESERVING_UNARY_OPS
-_SHARDABLE_SCAN_OPS = ("TableScan", "ClusteringIndexScan")
-
-
-def enforcement_chain_scan(plan: PhysicalPlan) -> Optional[PhysicalPlan]:
-    """The scan under a chain of per-row, order-preserving unaries, or
-    ``None`` when *plan* is not such a chain.  Sharded execution of a
-    chain over one shardable scan provably partitions the unsharded
-    stream — the shape every below-the-exchange placement builds on."""
-    node = plan
-    while node.op in SHARD_TRANSPARENT_OPS and len(node.children) == 1:
-        node = node.children[0]
-    return node if node.op in _SHARDABLE_SCAN_OPS else None
+    def _merge_telemetry(self, telemetry: dict[str, float]) -> None:
+        """Fold a refinement re-search's counters into the last
+        :meth:`optimize` telemetry (refinement is part of the same
+        logical optimization from the caller's point of view)."""
+        if not self.last_telemetry:
+            self.last_telemetry = telemetry
+            return
+        for key, value in telemetry.items():
+            if isinstance(value, (int, float)):
+                self.last_telemetry[key] = (
+                    self.last_telemetry.get(key, 0) + value)
 
 
-def shardable_enforcement_input(plan: PhysicalPlan, catalog: Catalog,
-                                parallelism: int) -> bool:
-    """Whether *plan* is a shape whose order enforcement can be pushed
-    below a shard fan-out — a unary chain over a scan that is either
-    contiguously shardable at *parallelism* or range-partitioned.  Shared
-    by the search (:meth:`OptimizationRun.enforce`) and the serving
-    layer's decision counters, so "a sharded alternative existed" means
-    the same thing in both places.
+class OptimizationRun(PhysicalSelection):
+    """Drives pipeline stages 2–4 for one query.
+
+    Subclasses :class:`~repro.optimizer.pipeline.PhysicalSelection`, so
+    the pre-pipeline API — ``optimize_goal``, ``enforce``, the memo and
+    the search counters — keeps working on the run itself; that search
+    state covers the as-written tree.  :meth:`optimize` additionally
+    runs join enumeration (stage 2), searches every candidate tree (a
+    fresh :class:`PhysicalSelection` per rewritten tree), keeps the
+    cheapest plan, and computes its bind-readiness (stage 4).
     """
-    if parallelism < 2:
-        return False
-    scan = enforcement_chain_scan(plan)
-    if scan is None:
-        return False
-    table = catalog.table(scan.arg("table"))
-    return shardable(table, parallelism) or range_shardable(table)
-
-
-class _Bound:
-    """Mutable upper bound shared between a goal and its candidate
-    generator; shrinks as better complete plans are found."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: float = math.inf) -> None:
-        self.value = value
-
-
-class OptimizationRun:
-    """State for optimizing a single query (memo, annotations, afm)."""
 
     def __init__(self, catalog: Catalog, root: LogicalExpr,
-                 strategy: OrderStrategy, config: OptimizerConfig) -> None:
-        self.catalog = catalog
-        self.root = root
-        self.config = config
-        self.strategy = strategy
-        #: Shard fan-out enforcers may exploit (1 = sharding-oblivious).
-        self.parallelism = (max(1, config.parallelism)
-                            if config.shard_aware_enforcers else 1)
-        self.annotator = Annotator(catalog, root)
-        #: Whole-query equivalence classes — used for *candidate
-        #: generation* (interesting orders) and cost pricing.  Goal
-        #: satisfaction must NOT use these: like FDs, an equivalence
-        #: established by one union branch's join is invalid in a
-        #: name-colliding sibling, so memo keys and enforcement use
-        #: :meth:`eq_of` — the classes of the goal's own subtree.
-        self.eq = self.annotator.eq
-        #: Whole-query FDs — used for *candidate generation* (interesting
-        #: orders).  Goal reduction must NOT use these: an FD harvested in
-        #: one union branch (``t0_c1 = 28`` makes t0_c1 constant *there*)
-        #: is invalid in a sibling branch that shares the column names,
-        #: and reducing a sibling's sort goal with it silently drops a
-        #: sort column (caught by the plan-parity fuzz suite).  Subgoals
-        #: therefore reduce with :meth:`fds_of` — the FDs of their own
-        #: subtree only.
-        self.fds = query_fds(catalog, root)
-        self._fds_cache: dict[LogicalExpr, FDSet] = {root: self.fds}
-        self._eq_cache: dict[LogicalExpr, AttributeEquivalence] = {
-            root: self.eq}
-        self.favorable = FavorableOrders(catalog, self.annotator)
-        self.cost_model = CostModel(catalog.params, self.eq)
-        self.order_ctx = OrderContext(self.favorable, self.fds, self.eq)
-        self._memo: dict[tuple[LogicalExpr, tuple[str, ...]], PhysicalPlan] = {}
-        #: Failure memo (Columbia's re-search discipline): goal → largest
-        #: budget known infeasible.  ``_failed[key] = L`` is the *exact*
-        #: statement "no plan of this goal costs < L": a bounded search
-        #: only ever discards candidates costing ≥ its budget, so a
-        #: fruitless search at budget L proves it.  Requests at limits
-        #: ≤ L are answered ``None`` instantly; a larger budget triggers
-        #: a genuine re-search.
-        self._failed: dict[tuple[LogicalExpr, tuple[str, ...]], float] = {}
-        #: *Distinct* subgoals optimized — the optimization-effort metric
-        #: of Fig. 16.  A re-search of a failure-memoised goal at a larger
-        #: budget counts in :attr:`goals_researched`, not here.
-        self.goals_examined = 0
-        #: Subgoals skipped because their cost budget was already exhausted
-        #: (budget ≤ 0 or failure-memo hit; see :meth:`optimize_goal`).
-        self.goals_pruned = 0
-        #: Subgoals answered from the failure memo without a search.
-        self.failure_memo_hits = 0
-        #: Bounded searches that came up empty (failure memo entries made).
-        self.goals_failed = 0
-        #: Re-searches of previously failed goals at larger budgets.
-        self.goals_researched = 0
+                 strategy: OrderStrategy, config: OptimizerConfig,
+                 pipeline: Optional[OptimizationPipeline] = None) -> None:
+        super().__init__(catalog, root, strategy, config)
+        if pipeline is None:
+            # Direct construction (tests, benchmarks, forced-order
+            # re-planning): search the tree as written.
+            pipeline = OptimizationPipeline(config, strategy,
+                                            ExhaustiveEnumerator())
+        self.pipeline = pipeline
+        #: Stage-2 wall time of the last :meth:`optimize`.
+        self.enumerator_seconds = 0.0
+        #: Candidate trees actually searched by the last :meth:`optimize`.
+        self.join_order_candidates = 0
+        #: The candidate tree whose plan won (the as-written tree until
+        #: :meth:`optimize` decides otherwise) — phase-2 refinement must
+        #: refine this tree, not the original.
+        self.chosen_tree: LogicalExpr = root
+        #: Stage-4 output: parameter names the chosen plan needs bound.
+        self.param_names: frozenset[str] = frozenset()
+        self._searches: list[PhysicalSelection] = [self]
 
-    # -- goal optimization -------------------------------------------------------------
-    def optimize_goal(self, expr: LogicalExpr, required: SortOrder,
-                      limit: float = math.inf) -> Optional[PhysicalPlan]:
-        """Cheapest plan for *expr* guaranteeing *required*.
-
-        *limit* is the branch-and-bound budget handed down by the parent
-        goal.  Three ways to skip the search entirely:
-
-        * a memo hit (exact optimum from an earlier search);
-        * a budget that is already ≤ 0 — no plan can make the enclosing
-          candidate competitive (all costs are non-negative);
-        * a failure-memo hit: an earlier *bounded* search at budget
-          ``L ≥ limit`` found nothing, proving no plan costs < limit.
-
-        Otherwise the goal is searched with the budget as the initial
-        branch-and-bound upper bound.  A search that finds a plan found
-        the *exact* optimum (only candidates costing ≥ the shrinking
-        bound are ever discarded) and memoises it; a bounded search that
-        finds nothing records the exact infeasibility fact
-        ``no plan < limit`` in the failure memo and returns ``None`` —
-        a later request with a larger budget re-searches (Columbia's
-        re-search discipline).  Either way pruning never changes chosen
-        plans, only the number of goals examined.
-        """
-        required = self.fds_of(expr).reduce_order(required)
-        # Canonicalize the goal order with *this subtree's* equivalences
-        # only: the whole-query classes may equate attributes via a
-        # sibling branch's join, and collapsing two genuinely different
-        # goals into one memo slot would serve one branch's plan (and
-        # its order guarantee) for the other's requirement.
-        eq = self.eq_of(expr)
-        key = (expr, tuple(eq.canonical(a) for a in required))
-        cached = self._memo.get(key)
-        if cached is not None:
-            return cached
-        if limit <= 0.0:
-            self.goals_pruned += 1
-            return None
-        failed_at = self._failed.get(key)
-        if failed_at is not None and limit <= failed_at:
-            self.goals_pruned += 1
-            self.failure_memo_hits += 1
-            return None
-        if failed_at is not None:
-            self.goals_researched += 1
-        else:
-            self.goals_examined += 1
-
-        bound = _Bound(limit if self.config.cost_bound_pruning else math.inf)
+    def optimize(self, required: SortOrder) -> PhysicalPlan:
+        """Stages 2–4: enumerate join orders, search each candidate,
+        return the cheapest plan (bit-identical to the pre-pipeline
+        optimizer under the default exhaustive enumerator)."""
+        start = time.perf_counter()
+        trees = list(self.pipeline.enumerator.candidate_trees(
+            self.catalog, self.root)) or [self.root]
+        self.enumerator_seconds = time.perf_counter() - start
+        root_tables = referenced_tables(self.root)
+        root_schema = self.annotator.schema_of(self.root).names
         best: Optional[PhysicalPlan] = None
-        for candidate in self._native_candidates(expr, required, bound):
-            plan = self.enforce(candidate, required, limit=bound.value,
-                                fds=self.fds_of(expr), eq=eq)
-            if plan is None:
+        best_tree = self.root
+        seen: set[LogicalExpr] = set()
+        self.join_order_candidates = 0
+        for tree in trees:
+            if tree in seen:
                 continue
+            seen.add(tree)
+            if tree == self.root:
+                search: PhysicalSelection = self
+                tree = self.root
+            else:
+                # An enumerator's candidate must be exactly equivalent:
+                # same tables, same output columns in the same order.
+                # Anything else (a misbehaving custom enumerator) is
+                # skipped rather than trusted.
+                try:
+                    if referenced_tables(tree) != root_tables:
+                        continue
+                    search = PhysicalSelection(self.catalog, tree,
+                                               self.strategy, self.config)
+                    if search.annotator.schema_of(tree).names != root_schema:
+                        continue
+                except Exception:
+                    continue
+                self._searches.append(search)
+            self.join_order_candidates += 1
+            plan = search.optimize_goal(tree, required)
+            plan = search.ensure_schema(plan, tree)
             if best is None or plan.total_cost < best.total_cost:
                 best = plan
-                if self.config.cost_bound_pruning:
-                    bound.value = best.total_cost
+                best_tree = tree
         if best is None:
-            if math.isinf(limit):
-                raise RuntimeError(
-                    f"no plan for {expr.label()} with required order {required}")
-            # Exact failure fact: every candidate was discarded against a
-            # bound that never dropped below *limit*, so no plan of this
-            # goal costs < limit.
-            self._failed[key] = max(failed_at or 0.0, limit)
-            self.goals_failed += 1
-            return None
-        self._memo[key] = best
-        self._failed.pop(key, None)  # success supersedes any failure marker
+            # Every candidate was rejected: fall back to the query as
+            # written (always a valid candidate).
+            self.join_order_candidates = 1
+            best = self.optimize_goal(self.root, required)
+            best = self.ensure_schema(best, self.root)
+            best_tree = self.root
+        self.chosen_tree = best_tree
+        self.param_names = parameterize(best)
         return best
 
-    def fds_of(self, expr: LogicalExpr) -> FDSet:
-        """FDs valid on *expr*'s own subtree (memoised per node).
-
-        Only these may reduce a sort goal or a group-column set for
-        *expr* — the run-global :attr:`fds` include facts from sibling
-        subtrees that need not hold here.
-        """
-        fds = self._fds_cache.get(expr)
-        if fds is None:
-            fds = query_fds(self.catalog, expr)
-            self._fds_cache[expr] = fds
-        return fds
-
-    def eq_of(self, expr: LogicalExpr) -> AttributeEquivalence:
-        """Attribute equivalences valid on *expr*'s own subtree (memoised
-        per node) — the per-branch soundness check sorted dedup orders
-        need; see :meth:`_complete_set_order`."""
-        eq = self._eq_cache.get(expr)
-        if eq is None:
-            eq = Annotator(self.catalog, expr).eq
-            self._eq_cache[expr] = eq
-        return eq
-
-    # -- enforcers ------------------------------------------------------------------------
-    def enforce(self, plan: PhysicalPlan, required: SortOrder,
-                limit: float = math.inf,
-                fds: Optional[FDSet] = None,
-                eq: Optional[AttributeEquivalence] = None
-                ) -> Optional[PhysicalPlan]:
-        """Add a (partial) sort enforcer if *plan* misses the requirement.
-
-        *fds* and *eq* are the facts valid on the goal's own subtree
-        (:meth:`fds_of` / :meth:`eq_of`); both default to the whole-query
-        sets for external callers planning single-subtree chains.  The
-        subtree scoping matters for requirement *satisfaction*: a
-        sibling union branch's join equivalence must neither skip a
-        needed sort nor donate a partial-sort prefix the stream does not
-        actually have.
-
-        With ``parallelism > 1`` and a shardable input, two enforcer
-        placements compete on cost: the classic post-union sort above the
-        (future) exchange, and per-shard SRS/MRS enforcers gathered by an
-        order-preserving :class:`MergeExchange` — "partitioned +
-        per-shard-ordered" is a physical property the merge converts into
-        the required global order.  Ties resolve to the simpler
-        post-union plan (:func:`~repro.optimizer.cost.prefer_sharded`).
-
-        Returns ``None`` when no enforcer applies — or when the enforced
-        plan's total cost reaches *limit*, i.e. it provably cannot beat
-        the best alternative already known to the caller.
-        """
-        if plan.total_cost >= limit:
-            return None
-        if eq is None:
-            eq = self.eq
-        target = (fds if fds is not None else self.fds).reduce_order(required)
-        if not target or plan.order.satisfies(target, eq):
-            return plan
-        translated = self._translate_order(target, plan.schema, eq)
-        if translated is None:
-            return None
-        partial_ok = self.config.partial_sort_enforcers
-        prefix = longest_common_prefix(translated, plan.order, eq)
-        cost = self.cost_model.coe(plan.stats, plan.order, translated,
-                                   partial_enabled=partial_ok)
-        if self.parallelism > 1:
-            # Decide on the (cheap) cost estimates first; the k-shard plan
-            # tree is only materialised when a placement actually wins.
-            sharded = self._sharded_enforcement(plan, translated, prefix,
-                                                partial_ok, cost)
-            if sharded is not None:
-                return sharded if sharded.total_cost < limit else None
-        if plan.total_cost + cost >= limit:
-            return None
-        if prefix and partial_ok:
-            return make_plan("PartialSort", plan.schema, translated, plan.stats,
-                             cost, [plan], prefix=prefix, algorithm="mrs")
-        return make_plan("Sort", plan.schema, translated, plan.stats, cost,
-                         [plan], prefix=EMPTY_ORDER, algorithm="srs")
-
-    # -- per-shard statistics ----------------------------------------------------------
-    def _chain_table(self, plan: PhysicalPlan):
-        """``(scan node, catalog table)`` under *plan*'s unary chain, or
-        ``(None, None)``."""
-        scan = enforcement_chain_scan(plan)
-        if scan is None:
-            return None, None
-        return scan, self.catalog.table(scan.arg("table"))
-
-    def _chain_views(self, plan: PhysicalPlan, table,
-                     per_table) -> list[StatsView]:
-        """Measured per-shard table statistics carried to the chain output
-        *plan*: the chain's cumulative selectivity is applied to each
-        shard's real row count, and per-shard distinct counts come from
-        the measured boundaries — the numbers that drive per-shard
-        partial-sort segment counts and spill predictions."""
-        total = max(1.0, float(table.stats.num_rows))
-        selectivity = min(1.0, plan.stats.N / total)
-        subset = set(plan.schema.names) <= set(table.schema.names)
-        views = []
-        for shard_stats in per_table:
-            view = StatsView.of_table(table.schema, shard_stats, self.eq)
-            view = view.scaled(selectivity)
-            if subset:
-                view = view.projected(list(plan.schema.names))
-            views.append(view)
-        return views
-
-    def _per_shard_views(self, plan: PhysicalPlan,
-                         shard_count: int) -> Optional[list[StatsView]]:
-        """Real per-shard statistics for a contiguous fan-out of *plan*,
-        or ``None`` (stats-only table → uniform ``scaled(1/k)``)."""
-        scan, table = self._chain_table(plan)
-        if table is None:
-            return None
-        per_table = table.shard_stats(shard_count)
-        if per_table is None:
-            return None
-        return self._chain_views(plan, table, per_table)
-
-    def _per_partition_views(self, plan: PhysicalPlan) -> Optional[list[StatsView]]:
-        """Real per-partition statistics for a range fan-out of *plan*."""
-        scan, table = self._chain_table(plan)
-        if table is None:
-            return None
-        per_table = table.partition_stats()
-        if per_table is None:
-            return None
-        return self._chain_views(plan, table, per_table)
-
-    def _uniform_views(self, plan: PhysicalPlan, k: int) -> list[StatsView]:
-        return [plan.stats.scaled(1.0 / k) for _ in range(k)]
-
-    # -- shard-aware enforcement ------------------------------------------------------
-    def _shard_clone(self, node: PhysicalPlan, shard_count: int,
-                     shard_index: int, share: Optional[float] = None,
-                     range_table=None) -> PhysicalPlan:
-        """One shard's copy of a shardable subtree: the scan leaf becomes
-        a ``ShardedScan`` (or ``RangePartitionScan``) and every node
-        carries its *share* of the rows and cost, so the k shards together
-        cost exactly what the unsharded subtree did — except the scan leaf
-        of a *non-contiguous* range partition, which reads the whole table
-        and keeps the full scan cost (the real price of range-sharding a
-        layout that doesn't match the spec)."""
-        if share is None:
-            share = 1.0 / shard_count
-        stats = node.stats.scaled(share)
-        if node.op in _SHARDABLE_SCAN_OPS:
-            if range_table is not None:
-                leaf_cost = (node.self_cost * share
-                             if range_table.partition_contiguous
-                             else node.self_cost)
-                return make_plan("RangePartitionScan", node.schema, node.order,
-                                 stats, leaf_cost, table=node.arg("table"),
-                                 partition_index=shard_index,
-                                 partition_count=shard_count)
-            return make_plan("ShardedScan", node.schema, node.order, stats,
-                             node.self_cost * share,
-                             table=node.arg("table"),
-                             shard_count=shard_count, shard_index=shard_index)
-        child = self._shard_clone(node.children[0], shard_count, shard_index,
-                                  share, range_table)
-        return PhysicalPlan(node.op, node.schema, node.order, stats,
-                            node.self_cost * share, (child,), node.args)
-
-    def _sharded_enforcement(self, plan: PhysicalPlan, translated: SortOrder,
-                             prefix: SortOrder, partial_ok: bool,
-                             post_union_cost: float) -> Optional[PhysicalPlan]:
-        """The cheapest below-the-exchange enforcer placement for *plan*
-        — contiguous equal shards or declared range partitions, each
-        priced with measured per-shard statistics where available — or
-        ``None`` when the classic post-union sort wins (ties resolve to
-        post-union via :func:`prefer_sharded`)."""
-        scan, table = self._chain_table(plan)
-        if table is None:
-            return None
-        post_total = plan.total_cost + post_union_cost
-        best_est: Optional[float] = None
-        best_build = None
-        k = self.parallelism
-        if shardable(table, k):
-            views = self._per_shard_views(plan, k)
-            est = plan.total_cost + self.cost_model.sharded_coe(
-                plan.stats, plan.order, translated, k,
-                partial_enabled=partial_ok, shard_stats=views)
-            best_est = est
-            best_build = lambda v=views: self._shard_enforced(
-                plan, translated, prefix, partial_ok, k, v)
-        if range_shardable(table):
-            p = table.partitioning.num_partitions
-            views = self._per_partition_views(plan)
-            disjoint = translated.as_tuple[0] == table.partitioning.column
-            # Non-contiguous partitions each re-read the whole table.
-            extra = 0.0 if table.partition_contiguous else (p - 1) * scan.self_cost
-            est = plan.total_cost + extra + self.cost_model.sharded_coe(
-                plan.stats, plan.order, translated, p,
-                partial_enabled=partial_ok, shard_stats=views,
-                disjoint_merge=disjoint)
-            if best_est is None or est < best_est:
-                best_est = est
-                best_build = lambda v=views, dj=disjoint, n=p: self._shard_enforced(
-                    plan, translated, prefix, partial_ok, n, v,
-                    range_table=table, disjoint=dj)
-        if best_est is None or not prefer_sharded(best_est, post_total):
-            return None
-        return best_build()
-
-    def _shard_enforced(self, plan: PhysicalPlan, translated: SortOrder,
-                        prefix: SortOrder, partial_ok: bool, k: int,
-                        views: Optional[list[StatsView]],
-                        range_table=None, disjoint: bool = False) -> PhysicalPlan:
-        """Materialise the per-shard-sort-plus-merge alternative for
-        *plan* (caller has already established shardability and that the
-        :meth:`~repro.optimizer.cost.CostModel.sharded_coe` estimate
-        wins)."""
-        if views is None:
-            views = self._uniform_views(plan, k)
-        total_rows = sum(v.N for v in views) or 1.0
-        shards = []
-        for i, view in enumerate(views):
-            shard = self._shard_clone(plan, k, i, view.N / total_rows,
-                                      range_table)
-            enforcer_cost = self.cost_model.coe(view, plan.order, translated,
-                                                partial_enabled=partial_ok)
-            # Carry the *measured* per-shard statistics on the enforcer
-            # node (schema permitting) so downstream per-shard operators
-            # (joins, aggregates) are priced with real distinct counts.
-            sort_stats = (view if list(view.schema.names)
-                          == list(shard.schema.names) else shard.stats)
-            if prefix and partial_ok:
-                shards.append(make_plan(
-                    "PartialSort", shard.schema, translated, sort_stats,
-                    enforcer_cost, [shard], prefix=prefix, algorithm="mrs"))
-            else:
-                shards.append(make_plan(
-                    "Sort", shard.schema, translated, sort_stats,
-                    enforcer_cost, [shard], prefix=EMPTY_ORDER,
-                    algorithm="srs"))
-        merge_cost = self.cost_model.merge_exchange(plan.stats.N, k,
-                                                    disjoint=disjoint)
-        return make_plan("MergeExchange", plan.schema, translated, plan.stats,
-                         merge_cost, shards, disjoint=disjoint)
-
-    def _translate_order(self, order: SortOrder, schema: Schema,
-                         eq: Optional[AttributeEquivalence] = None
-                         ) -> Optional[SortOrder]:
-        """Express *order* in *schema*'s column names via equivalences
-        (*eq* defaults to the whole-query classes; enforcement passes the
-        goal subtree's own)."""
-        if eq is None:
-            eq = self.eq
-        out: list[str] = []
-        for attr in order:
-            if attr in schema:
-                out.append(attr)
-                continue
-            mate = next((c for c in schema.names if eq.same(c, attr)), None)
-            if mate is None:
-                return None
-            if mate not in out:
-                out.append(mate)
-        return SortOrder(out)
-
-    def ensure_schema(self, plan: PhysicalPlan, expr: LogicalExpr) -> PhysicalPlan:
-        """Project the final plan to the logical output schema when a
-        covering-index scan or join swap changed column order."""
-        target = self.annotator.schema_of(expr)
-        if plan.schema.names == target.names:
-            return plan
-        if not plan.schema.has_all(target.names):
-            return plan  # narrower logical projection not expressible
-        cost = self.cost_model.project(plan.stats)
-        schema = plan.schema.project(list(target.names))
-        order = plan.order.restrict_prefix_to(target.names, self.eq)
-        return make_plan("Project", schema, order, plan.stats.projected(list(target.names)),
-                         cost, [plan], columns=tuple(target.names))
-
-    # -- candidate generation ----------------------------------------------------------------
-    def _native_candidates(self, expr: LogicalExpr, required: SortOrder,
-                           bound: _Bound) -> Iterable[PhysicalPlan]:
-        if isinstance(expr, BaseRelation):
-            yield from self._scan_candidates(expr)
-        elif isinstance(expr, Select):
-            yield from self._select_candidates(expr, required, bound)
-        elif isinstance(expr, Project):
-            yield from self._project_candidates(expr, required, bound)
-        elif isinstance(expr, Compute):
-            yield from self._compute_candidates(expr, required, bound)
-        elif isinstance(expr, Join):
-            yield from self._join_candidates(expr, required, bound)
-        elif isinstance(expr, GroupBy):
-            yield from self._group_candidates(expr, required, bound)
-        elif isinstance(expr, Distinct):
-            yield from self._distinct_candidates(expr, required, bound)
-        elif isinstance(expr, Union):
-            yield from self._union_candidates(expr, required, bound)
-        elif isinstance(expr, OrderBy):
-            plan = self.optimize_goal(expr.child, expr.order, bound.value)
-            if plan is not None:
-                yield plan
-        elif isinstance(expr, Limit):
-            yield from self._limit_candidates(expr, required, bound)
-        else:
-            raise TypeError(f"cannot plan {type(expr).__name__}")
-
-    def _scan_candidates(self, expr: BaseRelation) -> Iterable[PhysicalPlan]:
-        table = self.catalog.table(expr.table_name)
-        keys = [table.primary_key] if table.primary_key else []
-        stats = StatsView.of_table(table.schema, table.stats, self.eq, keys)
-        yield make_plan("TableScan", table.schema, table.clustering_order,
-                        stats, self.cost_model.table_scan(stats),
-                        table=table.name)
-        used = self.annotator.used_attrs(expr.table_name)
-        for index in self.catalog.indexes_of(expr.table_name):
-            if not index.covers(used):
-                continue
-            leaf_schema = index.leaf_schema
-            leaf_stats = stats.projected(list(leaf_schema.names))
-            cost = self.cost_model.index_scan(stats.N, index.entry_bytes())
-            yield make_plan("CoveringIndexScan", leaf_schema, index.key,
-                            leaf_stats, cost, table=table.name, index=index.name)
-
-    def _child_requirements(self, required: SortOrder,
-                            pushable: bool) -> list[SortOrder]:
-        """Child orders worth requesting for order-preserving unaries:
-        the requirement itself (sort below, smaller input) and ε (sort
-        above, fewer rows) — the enforcer framework arbitrates by cost."""
-        reqs = [EMPTY_ORDER]
-        if pushable and required:
-            reqs.append(required)
-        return reqs
-
-    def _select_candidates(self, expr: Select, required: SortOrder,
-                           bound: _Bound) -> Iterable[PhysicalPlan]:
-        child_schema_cols = set(self.annotator.schema_of(expr.child).names)
-        pushable = all(any(self.eq.same(a, c) for c in child_schema_cols)
-                       for a in required)
-        for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req, bound.value)
-            if child is None or not child.schema.has_all(expr.predicate.columns()):
-                continue
-            stats = child.stats.scaled(expr.predicate.selectivity(child.stats))
-            yield make_plan("Filter", child.schema, child.order, stats,
-                            self.cost_model.filter(child.stats), [child],
-                            predicate=expr.predicate)
-
-    def _project_candidates(self, expr: Project, required: SortOrder,
-                            bound: _Bound) -> Iterable[PhysicalPlan]:
-        pushable = set(required) <= set(expr.columns)
-        for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req, bound.value)
-            if child is None or not child.schema.has_all(expr.columns):
-                continue
-            schema = child.schema.project(list(expr.columns))
-            order = child.order.restrict_prefix_to(expr.columns, self.eq)
-            yield make_plan("Project", schema, order,
-                            child.stats.projected(list(expr.columns)),
-                            self.cost_model.project(child.stats), [child],
-                            columns=tuple(expr.columns))
-
-    def _compute_candidates(self, expr: Compute, required: SortOrder,
-                            bound: _Bound) -> Iterable[PhysicalPlan]:
-        child_cols = set(self.annotator.schema_of(expr.child).names)
-        pushable = all(any(self.eq.same(a, c) for c in child_cols)
-                       for a in required)
-        for child_req in self._child_requirements(required, pushable):
-            child = self.optimize_goal(expr.child, child_req, bound.value)
-            if child is None:
-                continue
-            schema = Schema(list(child.schema)
-                            + [spec for spec in self.annotator.schema_of(expr)
-                               if spec.name not in child.schema])
-            stats = StatsView(schema, child.stats.N,
-                              {c: child.stats.distinct_of(c)
-                               for c in child.schema.names}, self.eq)
-            yield make_plan("Compute", schema, child.order, stats,
-                            self.cost_model.project(child.stats), [child],
-                            outputs=tuple(expr.outputs))
-
-    # -- joins -------------------------------------------------------------------------------
-    def _join_candidates(self, expr: Join, required: SortOrder,
-                         bound: _Bound) -> Iterable[PhysicalPlan]:
-        pairs = list(expr.predicate.pairs)
-        right_for_left = dict(pairs)
-        orders = self.strategy.join_orders(self.order_ctx, expr, required)
-        for perm in orders:
-            left_req = perm
-            right_perm = SortOrder(
-                tuple(right_for_left.get(a, self._right_partner(a, pairs))
-                      for a in perm))
-            left_plan = self.optimize_goal(expr.left, left_req, bound.value)
-            if left_plan is None:
-                continue
-            right_plan = self.optimize_goal(expr.right, right_perm,
-                                            bound.value - left_plan.total_cost)
-            if right_plan is None:
-                continue
-            reordered = JoinPredicate(
-                [(a, right_for_left.get(a, self._right_partner(a, pairs)))
-                 for a in perm])
-            stats = self._join_stats(expr, left_plan, right_plan)
-            schema = left_plan.schema.concat(right_plan.schema)
-            cost = self.cost_model.merge_join(left_plan.stats, right_plan.stats,
-                                              stats.N)
-            # FULL OUTER pads left key columns of right-unmatched rows
-            # with NULLs mid-stream, so its output guarantees no order
-            # (mirrors engine/joins.py — the two must agree or enforcers
-            # get skipped above plans that cannot honour them).
-            out_order = EMPTY_ORDER if expr.join_type == "full" else perm
-            yield make_plan("MergeJoin", schema, out_order, stats, cost,
-                            [left_plan, right_plan], predicate=reordered,
-                            join_type=expr.join_type, logical=expr)
-            yield from self._sharded_join_alternatives(
-                expr, perm, reordered, left_plan, right_plan, stats, schema,
-                cost)
-        if self.config.enable_hash_join:
-            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
-            right_plan = (self.optimize_goal(expr.right, EMPTY_ORDER,
-                                             bound.value - left_plan.total_cost)
-                          if left_plan is not None else None)
-            if left_plan is not None and right_plan is not None:
-                stats = self._join_stats(expr, left_plan, right_plan)
-                schema = left_plan.schema.concat(right_plan.schema)
-                cost = self.cost_model.hash_join(left_plan.stats,
-                                                 right_plan.stats, stats.N)
-                yield make_plan("HashJoin", schema, EMPTY_ORDER, stats, cost,
-                                [left_plan, right_plan],
-                                predicate=expr.predicate,
-                                join_type=expr.join_type)
-                if self.parallelism > 1:
-                    copart = self._copartitioned_hash_join(
-                        expr, left_plan, right_plan, stats, schema, cost)
-                    if copart is not None:
-                        yield copart
-        if self.config.enable_nested_loops and expr.join_type == "inner":
-            left_plan = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
-            right_plan = (self.optimize_goal(expr.right, EMPTY_ORDER,
-                                             bound.value - left_plan.total_cost)
-                          if left_plan is not None else None)
-            if left_plan is not None and right_plan is not None:
-                stats = self._join_stats(expr, left_plan, right_plan)
-                schema = left_plan.schema.concat(right_plan.schema)
-                cost = self.cost_model.nested_loops_join(left_plan.stats,
-                                                         right_plan.stats,
-                                                         stats.N)
-                yield make_plan("NestedLoopsJoin", schema, left_plan.order,
-                                stats, cost, [left_plan, right_plan],
-                                predicate=expr.predicate)
-
-    @staticmethod
-    def _right_partner(attr: str, pairs: list[tuple[str, str]]) -> str:
-        for l, r in pairs:
-            if l == attr or r == attr:
-                return r
-        raise KeyError(attr)
-
-    def _join_stats(self, expr: Join, left: PhysicalPlan,
-                    right: PhysicalPlan) -> StatsView:
-        joined = left.stats.join(right.stats, list(expr.predicate.pairs), self.eq)
-        if expr.join_type == "left":
-            return joined.with_rows(max(joined.N, left.stats.N))
-        if expr.join_type == "full":
-            return joined.with_rows(max(joined.N, left.stats.N, right.stats.N))
-        return joined
-
-    # -- sharded joins -----------------------------------------------------------------
-    def _sharded_join_alternatives(self, expr: Join, perm: SortOrder,
-                                   reordered: JoinPredicate,
-                                   left_plan: PhysicalPlan,
-                                   right_plan: PhysicalPlan, stats: StatsView,
-                                   schema: Schema,
-                                   join_cost: float) -> Iterable[PhysicalPlan]:
-        if self.parallelism < 2:
-            return
-        broadcast = self._broadcast_join_alternative(
-            expr, perm, reordered, left_plan, right_plan, stats, schema,
-            join_cost)
-        if broadcast is not None:
-            yield broadcast
-
-    def _sorted_shards_of(self, plan: PhysicalPlan, shard_count: int):
-        """Per-shard sorted pipelines delivering *plan*'s order, plus
-        their stat views and base subtree cost — the shards a per-shard
-        join or aggregate builds on.
-
-        Two shapes qualify: a plan whose enforcer was already placed per
-        shard (``MergeExchange`` — reuse its children, dropping the
-        pre-operator merge), and a ``Sort``/``PartialSort`` over a
-        shardable chain (shard the chain and replicate the enforcer).
-        Returns ``None`` for everything else.
-        """
-        if plan.op == "MergeExchange":
-            shards = list(plan.children)
-            views = [s.stats for s in shards]
-            return shards, views, bool(plan.arg("disjoint", False))
-        if plan.op not in ("Sort", "PartialSort"):
-            return None
-        inner = plan.children[0]
-        scan, table = self._chain_table(inner)
-        if table is None or not shardable(table, shard_count):
-            return None
-        chain_views = (self._per_shard_views(inner, shard_count)
-                       or self._uniform_views(inner, shard_count))
-        total_rows = sum(v.N for v in chain_views) or 1.0
-        shards = []
-        for i, view in enumerate(chain_views):
-            clone = self._shard_clone(inner, shard_count, i,
-                                      view.N / total_rows)
-            enforcer_cost = self.cost_model.coe(
-                view, inner.order, plan.order,
-                partial_enabled=plan.op == "PartialSort")
-            sort_stats = (view if list(view.schema.names)
-                          == list(clone.schema.names) else clone.stats)
-            shards.append(make_plan(
-                plan.op, clone.schema, plan.order, sort_stats, enforcer_cost,
-                [clone], prefix=plan.arg("prefix", EMPTY_ORDER),
-                algorithm=plan.arg("algorithm", "srs")))
-        views = [s.stats for s in shards]
-        return shards, views, False
-
-    def _broadcast_join_alternative(self, expr: Join, perm: SortOrder,
-                                    reordered: JoinPredicate,
-                                    left_plan: PhysicalPlan,
-                                    right_plan: PhysicalPlan,
-                                    stats: StatsView, schema: Schema,
-                                    join_cost: float) -> Optional[PhysicalPlan]:
-        """Shard the sorted left input and broadcast the right: per-shard
-        merge joins gathered by an order-preserving merge.
-
-        Valid for inner and LEFT OUTER joins — the shards partition the
-        left rows, so every join output (and every left-padded row) is
-        produced exactly once; a FULL OUTER join would duplicate
-        right-unmatched rows per shard.  The right subtree appears once
-        per shard in the plan, so its replication cost is charged
-        naturally by ``total_cost`` — the alternative only wins when the
-        per-shard sort savings on a big left side beat re-reading a small
-        broadcast side k−1 extra times.
-        """
-        if expr.join_type == "full":
-            return None
-        sharded = self._sorted_shards_of(left_plan, self.parallelism)
-        if sharded is None:
-            return None
-        shards, views, disjoint = sharded
-        # The join merge stays heap-free only when the shards were range
-        # partitions disjoint on the join permutation's leading attribute.
-        disjoint = (disjoint and bool(perm)
-                    and left_plan.order.as_tuple[:1] == perm.as_tuple[:1])
-        regular_total = (left_plan.total_cost + right_plan.total_cost
-                         + join_cost)
-        return self._build_sharded_join(expr, perm, reordered, shards, views,
-                                        [right_plan] * len(shards), stats,
-                                        schema, regular_total,
-                                        merge_disjoint=disjoint)
-
-    def _build_sharded_join(self, expr: Join, perm: SortOrder,
-                            reordered: JoinPredicate,
-                            shards: list[PhysicalPlan],
-                            views: list[StatsView],
-                            rights: list[PhysicalPlan], stats: StatsView,
-                            schema: Schema, regular_total: float,
-                            merge_disjoint: bool
-                            ) -> Optional[PhysicalPlan]:
-        """Assemble (and cost-gate) the per-shard merge-join plan: one
-        merge join per shard against its right input, gathered by an
-        order-preserving merge.  Returns ``None`` when the assembled
-        total does not beat *regular_total* — ties resolve to the simpler
-        unsharded join."""
-        k = len(shards)
-        out_rows = stats.N
-        total_left = sum(v.N for v in views) or 1.0
-        weights = [v.N / total_left for v in views]
-        join_costs = [
-            self.cost_model.merge_join(v, r.stats, out_rows * w)
-            for v, r, w in zip(views, rights, weights)]
-        gather_cost = self.cost_model.merge_exchange(out_rows, k,
-                                                     disjoint=merge_disjoint)
-        # The gate compares exactly what the materialised plan will cost
-        # (per-node numbers below); CostModel.sharded_join states the
-        # same formula in one closed form, pinned equal by test_cost.
-        est = (sum(s.total_cost for s in shards)
-               + sum(r.total_cost for r in rights)
-               + sum(join_costs) + gather_cost)
-        if not prefer_sharded(est, regular_total):
-            return None
-        joins = [
-            make_plan("MergeJoin", schema, perm, stats.scaled(w),
-                      jc, [shard, right], predicate=reordered,
-                      join_type=expr.join_type, logical=expr)
-            for shard, right, w, jc in zip(shards, rights, weights, join_costs)]
-        return make_plan("MergeExchange", schema, perm, stats, gather_cost,
-                         joins, disjoint=merge_disjoint)
-
-    def _copartitioned_hash_join(self, expr: Join, left_plan: PhysicalPlan,
-                                 right_plan: PhysicalPlan, stats: StatsView,
-                                 schema: Schema,
-                                 join_cost: float) -> Optional[PhysicalPlan]:
-        """Co-partitioned hash join for range-partitioned inputs: both
-        tables are partitioned on a join-equality pair with identical
-        bounds, so partition *i* of the left can only match partition *i*
-        of the right — the classic partitioned hash join.  Valid for
-        every join type (unlike the broadcast, nothing is replicated),
-        and the win is the Grace term: per-partition builds that fit in
-        sort memory skip the partition-spill I/O a monolithic build pays.
-        The gather is a plain exchange union (hash output is unordered
-        anyway), costing nothing.
-        """
-        lscan, ltable = self._chain_table(left_plan)
-        rscan, rtable = self._chain_table(right_plan)
-        if ltable is None or rtable is None:
-            return None
-        if not (range_shardable(ltable) and range_shardable(rtable)):
-            return None
-        lp, rp = ltable.partitioning, rtable.partitioning
-        if lp.bounds != rp.bounds:
-            return None
-        if (lp.column, rp.column) not in expr.predicate.pairs:
-            return None
-        lviews = self._per_partition_views(left_plan)
-        rviews = self._per_partition_views(right_plan)
-        if lviews is None or rviews is None:
-            return None
-        p = lp.num_partitions
-        total_l = sum(v.N for v in lviews) or 1.0
-        total_r = sum(v.N for v in rviews) or 1.0
-        # Join output apportioned by the per-partition row-count product.
-        raw = [lv.N * rv.N for lv, rv in zip(lviews, rviews)]
-        total_w = sum(raw) or 1.0
-        weights = [w / total_w for w in raw]
-        lclones = [self._shard_clone(left_plan, p, i, v.N / total_l,
-                                     range_table=ltable)
-                   for i, v in enumerate(lviews)]
-        rclones = [self._shard_clone(right_plan, p, i, v.N / total_r,
-                                     range_table=rtable)
-                   for i, v in enumerate(rviews)]
-        join_costs = [
-            self.cost_model.hash_join(lv, rv, stats.N * w)
-            for lv, rv, w in zip(lviews, rviews, weights)]
-        est = (sum(c.total_cost for c in lclones)
-               + sum(c.total_cost for c in rclones) + sum(join_costs))
-        regular_total = (left_plan.total_cost + right_plan.total_cost
-                         + join_cost)
-        if not prefer_sharded(est, regular_total):
-            return None
-        joins = [
-            make_plan("HashJoin", schema, EMPTY_ORDER, stats.scaled(w), jc,
-                      [lc, rc], predicate=expr.predicate,
-                      join_type=expr.join_type)
-            for lc, rc, w, jc in zip(lclones, rclones, weights, join_costs)]
-        return make_plan("ExchangeUnion", schema, EMPTY_ORDER, stats, 0.0,
-                         joins)
-
-    # -- aggregation --------------------------------------------------------------------------
-    def _group_candidates(self, expr: GroupBy, required: SortOrder,
-                          bound: _Bound) -> Iterable[PhysicalPlan]:
-        group_cols = list(expr.group_columns)
-        # Reduce with this subtree's FDs only: a sibling branch's constant
-        # filter must not shrink the sort key a streaming aggregate groups
-        # on (wrong merges of distinct groups otherwise).
-        reduced = list(self.fds_of(expr).reduce_group_columns(group_cols))
-        for perm in self.strategy.group_orders(self.order_ctx, expr, reduced,
-                                               required):
-            child = self.optimize_goal(expr.child, perm, bound.value)
-            if child is None:
-                continue
-            schema = self._agg_schema(expr, child.schema)
-            if schema is None:
-                continue
-            stats = child.stats.grouped(group_cols, schema)
-            agg_cost = self.cost_model.sort_aggregate(child.stats)
-            yield make_plan("SortAggregate", schema, perm, stats,
-                            agg_cost, [child],
-                            group_columns=tuple(group_cols),
-                            aggregates=tuple(expr.aggregates), logical=expr)
-            sharded = self._sharded_agg_alternative(expr, perm, child, schema,
-                                                    stats, group_cols, agg_cost)
-            if sharded is not None:
-                yield sharded
-        if self.config.enable_hash_aggregate:
-            child = self.optimize_goal(expr.child, EMPTY_ORDER, bound.value)
-            if child is None:
-                return
-            schema = self._agg_schema(expr, child.schema)
-            if schema is not None:
-                stats = child.stats.grouped(group_cols, schema)
-                yield make_plan("HashAggregate", schema, EMPTY_ORDER, stats,
-                                self.cost_model.hash_aggregate(child.stats, stats),
-                                [child], group_columns=tuple(group_cols),
-                                aggregates=tuple(expr.aggregates))
-
-    def _sharded_agg_alternative(self, expr: GroupBy, perm: SortOrder,
-                                 child: PhysicalPlan, schema: Schema,
-                                 stats: StatsView, group_cols: list[str],
-                                 agg_cost: float) -> Optional[PhysicalPlan]:
-        """Per-shard sort aggregation under a merge with a final combine:
-        each shard aggregates its slice (sorted per shard, so the whole
-        enforcement win composes), the merge gathers one *partial* row
-        per per-shard group, and a :class:`SortedGroupCombine` folds the
-        groups that straddled shard boundaries.  Only aggregates with an
-        exact combiner qualify (``avg`` would need a sum+count split), so
-        recombined results are bit-identical to the unsharded plan.
-        """
-        if self.parallelism < 2 or not combinable(expr.aggregates):
-            return None
-        sharded = self._sorted_shards_of(child, self.parallelism)
-        if sharded is None:
-            return None
-        shards, views, disjoint = sharded
-        k = len(shards)
-        partial_rows = sum(v.distinct_of_set(group_cols) for v in views)
-        merge_cost = self.cost_model.merge_exchange(partial_rows, k,
-                                                    disjoint=disjoint)
-        combine_cost = self.cost_model.combine_groups(partial_rows)
-        # Per-node numbers below; CostModel.sharded_agg is the same
-        # formula in closed form, pinned equal by test_cost.
-        est = (sum(s.total_cost for s in shards)
-               + sum(self.cost_model.sort_aggregate(v) for v in views)
-               + merge_cost + combine_cost)
-        if not prefer_sharded(est, child.total_cost + agg_cost):
-            return None
-        aggs = []
-        for shard, view in zip(shards, views):
-            aggs.append(make_plan(
-                "SortAggregate", schema, perm, view.grouped(group_cols, schema),
-                self.cost_model.sort_aggregate(view), [shard],
-                group_columns=tuple(group_cols),
-                aggregates=tuple(expr.aggregates), logical=expr))
-        merged = make_plan("MergeExchange", schema, perm,
-                           stats.with_rows(partial_rows), merge_cost, aggs,
-                           disjoint=disjoint)
-        return make_plan("SortedCombine", schema, perm, stats, combine_cost,
-                         [merged], group_columns=tuple(group_cols),
-                         aggregates=tuple(expr.aggregates))
-
-    def _agg_schema(self, expr: GroupBy, child_schema: Schema) -> Optional[Schema]:
-        from ..expr.aggregates import aggregate_output_schema
-        needed = set(expr.group_columns)
-        for spec in expr.aggregates:
-            needed |= spec.columns()
-        if not child_schema.has_all(needed):
-            return None
-        return aggregate_output_schema(list(expr.group_columns), child_schema,
-                                       list(expr.aggregates))
-
-    # -- set operations --------------------------------------------------------------------------
-    @staticmethod
-    def _complete_set_order(perm: SortOrder, columns: list[str],
-                            equivalences: list) -> Optional[SortOrder]:
-        """Extend a (possibly equivalence-collapsed) permutation to cover
-        every output column, as sorted dedup operators require.
-
-        Interesting-order strategies canonicalize attributes, so a perm
-        over a union/distinct of joined inputs may omit columns equated
-        by a join (``t2_c1 ≡ t1_c1``).  Appending such a column keeps the
-        stream genuinely sorted **only if the equality holds inside the
-        subtree producing the rows** — each entry of *equivalences* is a
-        ``(rename, eq)`` pair for one child subtree (identity rename for
-        a single child), and every missing column must be equivalent to
-        some perm member under all of them.  Returns ``None`` when a
-        missing column cannot be soundly appended (the hash-based
-        candidates still cover the goal)."""
-        missing = [c for c in columns if c not in perm.attrs()]
-        if not missing:
-            return perm
-        for c in missing:
-            ok = all(any(eq.same(rename.get(c, c), rename.get(a, a))
-                         for a in perm)
-                     for rename, eq in equivalences)
-            if not ok:
-                return None
-        return SortOrder(list(perm) + missing)
-
-    def _distinct_candidates(self, expr: Distinct, required: SortOrder,
-                             bound: _Bound) -> Iterable[PhysicalPlan]:
-        schema = self.annotator.schema_of(expr)
-        columns = list(schema.names)
-        child_eq = self.eq_of(expr.child)
-        for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
-                                             required):
-            full_order = self._complete_set_order(perm, columns,
-                                                  [({}, child_eq)])
-            if full_order is None:
-                continue
-            child = self.optimize_goal(expr.child, perm, bound.value)
-            if child is None:
-                continue
-            stats = child.stats.with_rows(
-                child.stats.distinct_of_set(columns))
-            yield make_plan("Dedup", child.schema, full_order, stats,
-                            self.cost_model.dedup(child.stats), [child])
-            sharded = self._sharded_distinct_alternative(child, full_order,
-                                                         columns, stats)
-            if sharded is not None:
-                yield sharded
-        child = self.optimize_goal(expr.child, EMPTY_ORDER, bound.value)
-        if child is None:
-            return
-        stats = child.stats.with_rows(child.stats.distinct_of_set(columns))
-        yield make_plan("HashDedup", child.schema, EMPTY_ORDER, stats,
-                        self.cost_model.hash_dedup(child.stats, stats), [child])
-
-    def _sharded_distinct_alternative(self, child: PhysicalPlan,
-                                      full_order: SortOrder,
-                                      columns: list[str],
-                                      out_stats: StatsView
-                                      ) -> Optional[PhysicalPlan]:
-        """Per-shard DISTINCT under a merge with a merge-level final
-        dedup: each shard deduplicates its (sorted) slice, the
-        order-preserving merge gathers one row per per-shard distinct
-        value, and a final streaming :class:`Dedup` above the merge
-        drops duplicates that straddled shard boundaries — adjacent
-        after the merge, so the result is bit-identical to the
-        unsharded Dedup.  Wins when in-shard duplicates shrink the merge
-        input (the DISTINCT analogue of the per-shard aggregation) or
-        when the per-shard enforcers below already avoided a spill.
-        """
-        if self.parallelism < 2:
-            return None
-        sharded = self._sorted_shards_of(child, self.parallelism)
-        if sharded is None:
-            return None
-        shards, views, disjoint = sharded
-        k = len(shards)
-        dedup_costs = [self.cost_model.dedup(v) for v in views]
-        partial_rows = sum(v.distinct_of_set(columns) for v in views)
-        merge_cost = self.cost_model.merge_exchange(partial_rows, k,
-                                                    disjoint=disjoint)
-        final_cost = self.cost_model.cpu(partial_rows)
-        # Per-node numbers below; CostModel.sharded_dedup is the same
-        # formula in closed form, pinned equal by test_cost.
-        est = (sum(s.total_cost for s in shards) + sum(dedup_costs)
-               + merge_cost + final_cost)
-        regular = child.total_cost + self.cost_model.dedup(child.stats)
-        if not prefer_sharded(est, regular):
-            return None
-        dedups = [
-            make_plan("Dedup", shard.schema, full_order,
-                      view.with_rows(view.distinct_of_set(columns)), cost,
-                      [shard])
-            for shard, view, cost in zip(shards, views, dedup_costs)]
-        merged = make_plan("MergeExchange", child.schema, full_order,
-                           out_stats.with_rows(partial_rows), merge_cost,
-                           dedups, disjoint=disjoint)
-        return make_plan("Dedup", child.schema, full_order, out_stats,
-                         final_cost, [merged])
-
-    def _union_candidates(self, expr: Union, required: SortOrder,
-                          bound: _Bound) -> Iterable[PhysicalPlan]:
-        left_schema = self.annotator.schema_of(expr.left)
-        right_schema = self.annotator.schema_of(expr.right)
-        rename = dict(zip(left_schema.names, right_schema.names))
-        columns = list(left_schema.names)
-        left_eq = self.eq_of(expr.left)
-        right_eq = self.eq_of(expr.right)
-        for perm in self.strategy.set_orders(self.order_ctx, expr, columns,
-                                             required):
-            full_order = self._complete_set_order(
-                perm, columns, [({}, left_eq), (rename, right_eq)])
-            if full_order is None:
-                continue
-            left = self.optimize_goal(expr.left, perm, bound.value)
-            if left is None:
-                continue
-            right = self.optimize_goal(expr.right, perm.translate(rename),
-                                       bound.value - left.total_cost)
-            if right is None:
-                continue
-            stats = left.stats.union(right.stats, self.eq)
-            yield make_plan("MergeUnion", left.schema, full_order, stats,
-                            self.cost_model.merge_union(left.stats, right.stats),
-                            [left, right])
-        left = self.optimize_goal(expr.left, EMPTY_ORDER, bound.value)
-        if left is None:
-            return
-        right = self.optimize_goal(expr.right, EMPTY_ORDER,
-                                   bound.value - left.total_cost)
-        if right is None:
-            return
-        all_stats = left.stats.union(right.stats, self.eq)
-        union_all = make_plan("UnionAll", left.schema, EMPTY_ORDER, all_stats,
-                              0.0, [left, right])
-        dedup_stats = all_stats.with_rows(all_stats.distinct_of_set(columns))
-        yield make_plan("HashDedup", left.schema, EMPTY_ORDER, dedup_stats,
-                        self.cost_model.hash_dedup(all_stats, dedup_stats),
-                        [union_all])
-
-    def _limit_candidates(self, expr: Limit, required: SortOrder,
-                          bound: _Bound) -> Iterable[PhysicalPlan]:
-        child = self.optimize_goal(expr.child, required, bound.value)
-        if child is None:
-            return
-        stats = child.stats.with_rows(min(child.stats.N, expr.k))
-        yield make_plan("Limit", child.schema, child.order, stats, 0.0,
-                        [child], k=expr.k)
+    def telemetry(self) -> dict[str, float]:
+        """Per-stage search telemetry, aggregated over every candidate
+        search of this run (keys documented in ``docs/optimizer.md``)."""
+        out: dict[str, float] = {
+            "enumerator_seconds": self.enumerator_seconds,
+            "join_order_candidates": self.join_order_candidates,
+        }
+        for counter in _SEARCH_COUNTERS:
+            out[counter] = sum(getattr(s, counter) for s in self._searches)
+        return out

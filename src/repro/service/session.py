@@ -35,16 +35,6 @@ from typing import Any, Optional, Union as TUnion
 
 from ..engine.context import ExecutionContext
 from ..engine.executor import BatchedExecutor
-from ..expr.aggregates import AggSpec
-from ..expr.expressions import (
-    And,
-    BinOp,
-    Comparison,
-    Const,
-    Expression,
-    Or,
-    Param,
-)
 from ..logical.algebra import LogicalExpr, referenced_tables
 from ..logical.builder import Query
 from ..logical.fingerprint import logical_fingerprint
@@ -60,100 +50,16 @@ from ..storage.catalog import Catalog
 from .plan_cache import PlanCache
 
 
-# -- parameter binding ---------------------------------------------------------------
-def bind_expression(expr: Expression, binds: dict[str, Any]) -> Expression:
-    """Substitute :class:`Param` nodes with :class:`Const` bindings.
-
-    Returns the *same* object when nothing changed, so unparameterized
-    plans are never rebuilt.
-    """
-    if isinstance(expr, Param):
-        if expr.name not in binds:
-            raise KeyError(f"missing binding for query parameter :{expr.name}")
-        return Const(binds[expr.name])
-    if isinstance(expr, Comparison):
-        left = bind_expression(expr.left, binds)
-        right = bind_expression(expr.right, binds)
-        if left is expr.left and right is expr.right:
-            return expr
-        return Comparison(expr.op, left, right)
-    if isinstance(expr, BinOp):
-        left = bind_expression(expr.left, binds)
-        right = bind_expression(expr.right, binds)
-        if left is expr.left and right is expr.right:
-            return expr
-        return BinOp(expr.op, left, right)
-    if isinstance(expr, And):
-        parts = tuple(bind_expression(p, binds) for p in expr.parts)
-        if all(n is o for n, o in zip(parts, expr.parts)):
-            return expr
-        return And(*parts)
-    if isinstance(expr, Or):
-        parts = tuple(bind_expression(p, binds) for p in expr.parts)
-        if all(n is o for n, o in zip(parts, expr.parts)):
-            return expr
-        return Or(*parts)
-    return expr
-
-
-def expression_params(expr: Expression) -> frozenset[str]:
-    """All parameter names referenced by an expression."""
-    if isinstance(expr, Param):
-        return frozenset({expr.name})
-    if isinstance(expr, (Comparison, BinOp)):
-        return expression_params(expr.left) | expression_params(expr.right)
-    if isinstance(expr, (And, Or)):
-        out: frozenset[str] = frozenset()
-        for p in expr.parts:
-            out |= expression_params(p)
-        return out
-    return frozenset()
-
-
-def plan_params(plan: PhysicalPlan) -> frozenset[str]:
-    """All parameter names referenced anywhere in a physical plan."""
-    names: frozenset[str] = frozenset()
-    for node in plan.walk():
-        for key, value in node.args:
-            if isinstance(value, Expression):
-                names |= expression_params(value)
-            elif key == "outputs":
-                for _, e in value:
-                    names |= expression_params(e)
-            elif key == "aggregates":
-                for spec in value:
-                    names |= expression_params(spec.arg)
-    return names
-
-
-def bind_plan(plan: PhysicalPlan, binds: dict[str, Any]) -> PhysicalPlan:
-    """Rebuild a physical plan with parameters bound to constants."""
-    children = tuple(bind_plan(c, binds) for c in plan.children)
-    changed = any(n is not o for n, o in zip(children, plan.children))
-    new_args: list[tuple[str, Any]] = []
-    for key, value in plan.args:
-        new_value = value
-        if isinstance(value, Expression):
-            new_value = bind_expression(value, binds)
-        elif key == "outputs":
-            outs = tuple((n, bind_expression(e, binds)) for n, e in value)
-            if any(e is not o for (_, e), (_, o) in zip(outs, value)):
-                new_value = outs
-        elif key == "aggregates":
-            aggs = tuple(
-                AggSpec(s.func, bind_expression(s.arg, binds), s.output_name,
-                        s.output_size)
-                if expression_params(s.arg) else s
-                for s in value)
-            if any(a is not o for a, o in zip(aggs, value)):
-                new_value = aggs
-        if new_value is not value:
-            changed = True
-        new_args.append((key, new_value))
-    if not changed:
-        return plan
-    return PhysicalPlan(plan.op, plan.schema, plan.order, plan.stats,
-                        plan.self_cost, children, tuple(new_args))
+# -- parameter binding (pipeline stage 4; re-exported here for compat) ---------------
+# bind_expression / expression_params / plan_params / bind_plan moved to
+# the optimizer pipeline's parameterization stage; the serving layer (and
+# repro.service.__init__) keeps importing them from this module.
+from ..optimizer.pipeline.parameterization import (  # noqa: E402,F401
+    bind_expression,
+    bind_plan,
+    expression_params,
+    plan_params,
+)
 
 
 # -- the session ------------------------------------------------------------------------
@@ -179,6 +85,16 @@ class SessionMetrics:
     #: Fresh plans that shard a *DISTINCT*: per-shard Dedup under a
     #: MergeExchange with a merge-level final dedup.
     sharded_distinct_plans: int = 0
+    #: Per-stage optimizer telemetry, summed over fresh optimizations
+    #: (from :attr:`Optimizer.last_telemetry`): stage-2 join-enumeration
+    #: wall time and candidate count, and stage-3 search effort — goals
+    #: expanded/pruned and (failure-)memo hits.
+    enumerator_seconds: float = 0.0
+    join_order_candidates: int = 0
+    goals_examined: int = 0
+    goals_pruned: int = 0
+    memo_hits: int = 0
+    failure_memo_hits: int = 0
 
 
 class PreparedQuery:
@@ -287,6 +203,14 @@ class QuerySession:
         fp = logical_fingerprint(expr, required)
         if parallelism > 1:
             fp = f"{fp}#p{parallelism}"
+        # Like the parallelism salt: plans from different join-order
+        # enumerators are different physical plans for the same logical
+        # query, so they must never collide in a (shared) cache.  The
+        # default exhaustive enumerator salts with "" — pre-pipeline
+        # fingerprints stay valid.
+        enumerator_salt = self.optimizer.pipeline.cache_salt
+        if enumerator_salt:
+            fp = f"{fp}#j{enumerator_salt}"
         tables = referenced_tables(expr)
         # Per-table invalidation: the token covers only the tables this
         # query reads, so refreshes elsewhere leave the entry valid.
@@ -300,6 +224,16 @@ class QuerySession:
         plan = self.optimizer.optimize(expr, required, parallelism=parallelism)
         self.metrics.optimize_seconds += time.perf_counter() - start
         self.metrics.optimizations += 1
+        telemetry = self.optimizer.last_telemetry
+        self.metrics.enumerator_seconds += telemetry.get(
+            "enumerator_seconds", 0.0)
+        self.metrics.join_order_candidates += int(telemetry.get(
+            "join_order_candidates", 0))
+        self.metrics.goals_examined += int(telemetry.get("goals_examined", 0))
+        self.metrics.goals_pruned += int(telemetry.get("goals_pruned", 0))
+        self.metrics.memo_hits += int(telemetry.get("memo_hits", 0))
+        self.metrics.failure_memo_hits += int(telemetry.get(
+            "failure_memo_hits", 0))
         if parallelism > 1:
             gathers = plan.find_all("MergeExchange")
             if any(c.op == "MergeJoin" for g in gathers for c in g.children) \
@@ -364,6 +298,13 @@ class QuerySession:
             "sharded_join_plans": self.metrics.sharded_join_plans,
             "sharded_agg_plans": self.metrics.sharded_agg_plans,
             "sharded_distinct_plans": self.metrics.sharded_distinct_plans,
+            "join_enumerator": self.optimizer.pipeline.enumerator.name,
+            "enumerator_seconds": self.metrics.enumerator_seconds,
+            "join_order_candidates": self.metrics.join_order_candidates,
+            "goals_examined": self.metrics.goals_examined,
+            "goals_pruned": self.metrics.goals_pruned,
+            "memo_hits": self.metrics.memo_hits,
+            "failure_memo_hits": self.metrics.failure_memo_hits,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_ttl_seconds": self.cache.ttl_seconds,

@@ -8,7 +8,10 @@ from .consolidation import (
     example1_query,
 )
 from .synthetic import (
+    MANY_JOIN_SIZES,
     identical_r_tables,
+    many_join_catalog,
+    many_join_query,
     query4,
     r_tables_stats_catalog,
     segmented_catalog,
@@ -41,7 +44,10 @@ __all__ = [
     "consolidation_catalog",
     "consolidation_stats_catalog",
     "example1_query",
+    "MANY_JOIN_SIZES",
     "identical_r_tables",
+    "many_join_catalog",
+    "many_join_query",
     "query4",
     "query5",
     "query6",

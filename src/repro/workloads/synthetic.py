@@ -88,6 +88,63 @@ def r_tables_stats_catalog(params: Optional[SystemParameters] = None,
     return catalog
 
 
+#: Table sizes of the many-join workload: four "fact-sized" relations
+#: ``l0..l3`` and four much smaller ``r0..r3``.
+MANY_JOIN_SIZES = {"l0": 4_000, "l1": 2_600, "l2": 1_700, "l3": 1_100,
+                   "r0": 260, "r1": 150, "r2": 80, "r3": 40}
+
+
+def many_join_catalog(seed: int = 3, cluster: bool = True,
+                      params: Optional[SystemParameters] = None) -> Catalog:
+    """Eight-table many-join workload for the join-ordering benchmark.
+
+    Every table has six int columns ``{name}_a .. {name}_e, {name}_v``
+    drawn from a small domain (10 values), so all joins are
+    many-to-many; each table is clustered on its ``_a`` column when
+    *cluster* is set.  Deterministic for a given *seed*, so plan shapes
+    and search-effort counters gate exactly in regression tests.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog(params or SystemParameters())
+    for name, num_rows in MANY_JOIN_SIZES.items():
+        schema = Schema.of(*[(f"{name}_{c}", "int", 8) for c in "abcdev"])
+        rows = [tuple(rng.randrange(10) for _ in range(6))
+                for _ in range(num_rows)]
+        catalog.create_table(
+            name, schema, rows=rows,
+            clustering_order=(SortOrder([f"{name}_a"]) if cluster
+                              else SortOrder(())))
+    return catalog
+
+
+def many_join_query():
+    """Seven inner joins written in a deliberately adversarial shape.
+
+    Two size-descending chains (``l0 ⋈ l1 ⋈ l2 ⋈ l3`` and
+    ``r0 ⋈ r1 ⋈ r2 ⋈ r3``, single-attribute predicates) bridged by one
+    five-pair join whose pairs each connect a *different* ``l``/``r``
+    leaf.  As written, that top join carries a five-attribute sort goal
+    (120 interesting-order permutations under the exhaustive PYRO-E
+    strategy); a size-aware left-deep reordering interleaves the small
+    tables early and applies the five bridge predicates one or two at a
+    time, so no join ever sorts on more than two attributes.  This is
+    the workload where join-order enumeration pays: both the plan cost
+    and the number of optimizer goals drop when the region is reordered.
+    """
+    from ..logical import Query
+    left = (Query.table("l0")
+            .join("l1", on=[("l0_a", "l1_a")])
+            .join("l2", on=[("l1_b", "l2_a")])
+            .join("l3", on=[("l2_b", "l3_a")]))
+    right = (Query.table("r0")
+             .join("r1", on=[("r0_a", "r1_a")])
+             .join("r2", on=[("r1_b", "r2_a")])
+             .join("r3", on=[("r2_b", "r3_a")]))
+    bridge = [("l0_c", "r0_b"), ("l1_c", "r1_c"), ("l2_c", "r2_c"),
+              ("l3_b", "r3_b"), ("l0_d", "r1_d")]
+    return left.join(right, on=bridge).order_by("l0_v")
+
+
 def query4(catalog_prefixes: tuple[str, str, str] = ("r1", "r2", "r3")):
     """The paper's Query 4: two chained FULL OUTER joins with the
     attribute pairs {c4, c5} common to both join conditions.

@@ -1,0 +1,270 @@
+"""Staged-pipeline and join-enumerator tests.
+
+Pins the refactored optimizer to its pre-pipeline behavior (the default
+exhaustive enumerator must be **bit-identical** on the Fig. 16 queries
+and the fuzz corpus — golden explains/costs/hash live in
+``tests/golden_plans.json``), and covers the new pluggable
+join-ordering layer: the enumerator registry, the region-rewrite
+bail-outs, enumerator-salted plan-cache fingerprints, pipeline reuse
+across ``optimize``/refinement/``cost_of``, and the per-stage telemetry
+surfaced by sessions and the server.
+"""
+
+import hashlib
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.logical import Query
+from repro.logical.algebra import Annotator
+from repro.optimizer import (
+    ENUMERATORS,
+    ExhaustiveEnumerator,
+    GreedyManyToManyEnumerator,
+    Optimizer,
+    SimpliSquaredEnumerator,
+    make_enumerator,
+)
+from repro.optimizer.pipeline import OptimizationPipeline, PreCheckError
+from repro.service import PlanCache, QueryServer, QuerySession
+from repro.workloads import (
+    many_join_catalog,
+    many_join_query,
+    trading_stats_catalog,
+    query5,
+)
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_plans.json").read_text())
+
+
+# -- golden pins: the refactor must be invisible under the default enumerator ------------
+def _fig16_cases():
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+    from bench_plan_cache import bench_cases
+    return bench_cases()
+
+
+def test_exhaustive_bit_identical_on_fig16():
+    """Default-enumerator plans on Q3–Q6 match the pre-refactor golden
+    explains and costs byte for byte."""
+    for name, catalog, query in _fig16_cases():
+        plan = Optimizer(catalog).optimize(query)
+        golden = GOLDEN["fig16"][name]
+        assert plan.explain() == golden["explain"], name
+        assert plan.total_cost == golden["cost"], name
+
+
+def test_exhaustive_bit_identical_on_fuzz_corpus():
+    """Plan explains over the 40-seed fuzz corpus (parallelism 1 and 4)
+    hash to the pre-refactor golden digest."""
+    import test_plan_fuzz as fuzz
+    h = hashlib.sha256()
+    for seed in range(GOLDEN["fuzz"]["seeds"]):
+        rng = random.Random(seed)
+        catalog = fuzz.random_catalog(rng)
+        query = fuzz.random_query(rng, catalog)
+        session = QuerySession(catalog)
+        for parallelism in (1, 4):
+            plan = session.prepare(query, parallelism=parallelism).plan
+            h.update(plan.explain().encode())
+    assert h.hexdigest() == GOLDEN["fuzz"]["sha256"]
+
+
+# -- registry and pre-check --------------------------------------------------------------
+def test_registry_and_salts():
+    assert set(ENUMERATORS) == {"exhaustive", "simpli-squared", "greedy-m2m"}
+    # The default enumerator salts with the empty string so every
+    # pre-pipeline cache fingerprint stays valid.
+    assert ExhaustiveEnumerator().cache_salt == ""
+    assert SimpliSquaredEnumerator().cache_salt == "simpli-squared"
+    assert GreedyManyToManyEnumerator().cache_salt == "greedy-m2m"
+    inst = SimpliSquaredEnumerator()
+    assert make_enumerator(inst) is inst
+    assert isinstance(make_enumerator("greedy-m2m"), GreedyManyToManyEnumerator)
+
+
+def test_unknown_enumerator_fails_pre_check():
+    with pytest.raises(ValueError, match="exhaustive"):
+        make_enumerator("nope")
+    catalog = trading_stats_catalog()
+    with pytest.raises(PreCheckError, match="nope"):
+        Optimizer(catalog, join_enumerator="nope")
+    with pytest.raises(PreCheckError):
+        Optimizer(catalog, parallelism=0)
+
+
+# -- region rewriting --------------------------------------------------------------------
+def test_rewrite_bails_on_small_and_outer_regions():
+    """Regions under three leaves and outer-join boundaries are left
+    exactly as written."""
+    catalog = many_join_catalog()
+    enum = SimpliSquaredEnumerator()
+    two_way = Query.table("l0").join("l1", on=[("l0_a", "l1_a")]).expr
+    assert list(enum.candidate_trees(catalog, two_way)) == [two_way]
+    outer = (Query.table("l0")
+             .join("l1", on=[("l0_a", "l1_a")], how="full")
+             .join("l2", on=[("l1_b", "l2_a")], how="full")).expr
+    assert list(enum.candidate_trees(catalog, outer)) == [outer]
+
+
+@pytest.mark.parametrize("name", ["simpli-squared", "greedy-m2m"])
+def test_rewrite_preserves_tables_and_schema(name):
+    """The many-join region is actually reordered, and the rewritten
+    tree reads the same tables and exposes the same output columns in
+    the same order (a Project restores the as-written column order)."""
+    catalog = many_join_catalog()
+    root = many_join_query().expr
+    enum = make_enumerator(name)
+    trees = list(enum.candidate_trees(catalog, root))
+    assert len(trees) == 1 and trees[0] != root
+    annotator = Annotator(catalog, root)
+    rewritten_annotator = Annotator(catalog, trees[0])
+    assert (rewritten_annotator.schema_of(trees[0]).names
+            == annotator.schema_of(root).names)
+
+
+def test_reordered_plan_not_worse_on_many_join():
+    catalog = many_join_catalog()
+    query = many_join_query()
+    exhaustive_cost = Optimizer(catalog).optimize(query).total_cost
+    for name in ("simpli-squared", "greedy-m2m"):
+        cost = Optimizer(catalog, join_enumerator=name) \
+            .optimize(query).total_cost
+        assert cost <= exhaustive_cost * 1.001, name
+
+
+def test_simpli_squared_searches_fewer_goals_under_pyro_e():
+    """The benchmark gate's core claim, pinned as a unit test: committing
+    to the size-ordered left-deep tree avoids the five-attribute bridge
+    join's interesting-order explosion under exhaustive PYRO-E."""
+    catalog = many_join_catalog()
+    query = many_join_query()
+    goals = {}
+    for name in ("exhaustive", "simpli-squared"):
+        optimizer = Optimizer(catalog, strategy="pyro-e",
+                              join_enumerator=name)
+        optimizer.optimize(query)
+        goals[name] = optimizer.last_telemetry["goals_examined"]
+    assert goals["exhaustive"] >= 5 * goals["simpli-squared"], goals
+
+
+# -- cache salting -----------------------------------------------------------------------
+def test_enumerators_never_share_a_cache_entry():
+    """Two sessions over one shared cache with different enumerators must
+    each optimize: a plan cached under one enumerator is unreachable
+    from the other (fingerprints carry the enumerator salt)."""
+    catalog = many_join_catalog()
+    query = many_join_query()
+    cache = PlanCache(capacity=16)
+    exhaustive = QuerySession(catalog, cache=cache)
+    simpli = QuerySession(catalog, cache=cache,
+                          join_enumerator="simpli-squared")
+    plan_a = exhaustive.prepare(query).plan
+    plan_b = simpli.prepare(query).plan
+    assert exhaustive.metrics.optimizations == 1
+    assert simpli.metrics.optimizations == 1      # no cross-enumerator hit
+    assert cache.stats.hits == 0
+    assert len(cache) == 2
+    assert plan_a.explain() != plan_b.explain()
+    # Same-enumerator re-prepare still hits.
+    simpli.prepare(query)
+    assert cache.stats.hits == 1
+    assert simpli.metrics.optimizations == 1
+
+
+def test_exhaustive_fingerprint_is_unsalted():
+    """The default enumerator's fingerprints carry no ``#j`` salt, so
+    caches populated before the pipeline refactor stay warm."""
+    catalog = trading_stats_catalog()
+    session = QuerySession(catalog)
+    prepared = session.prepare(query5())
+    assert "#j" not in prepared.fingerprint
+    salted = QuerySession(catalog, join_enumerator="greedy-m2m")
+    assert "#jgreedy-m2m" in salted.prepare(query5()).fingerprint
+
+
+# -- pipeline reuse across optimize / refine / cost_of -----------------------------------
+class _CountingEnumerator(ExhaustiveEnumerator):
+    def __init__(self):
+        self.calls = 0
+
+    def candidate_trees(self, catalog, expr):
+        self.calls += 1
+        return [expr]
+
+
+def test_pipeline_reused_across_optimize_refine_and_cost_of():
+    """`Optimizer` builds its pipeline once: refinement and ``cost_of``
+    see the exact enumerator instance `optimize` used (the historical
+    bug was `_config_for` rebuilding a default config)."""
+    catalog = trading_stats_catalog()
+    enum = _CountingEnumerator()
+    optimizer = Optimizer(catalog, join_enumerator=enum)
+    assert optimizer.pipeline.enumerator is enum
+    # with_parallelism must share the enumerator, not rebuild one.
+    assert optimizer._pipeline_for(4).enumerator is enum
+    assert optimizer._config_for(4).parallelism == 4
+    optimizer.optimize(query5())
+    # Refinement re-searches the chosen tree without re-enumerating:
+    # exactly one candidate_trees call per optimize().
+    assert enum.calls == 1
+    optimizer.cost_of(query5())
+    assert enum.calls == 2
+    assert optimizer.pipeline.enumerator is enum
+
+
+def test_pipeline_with_parallelism_identity():
+    catalog = trading_stats_catalog()
+    optimizer = Optimizer(catalog)
+    pipeline = optimizer.pipeline
+    assert pipeline.with_parallelism(None) is pipeline
+    assert pipeline.with_parallelism(pipeline.config.parallelism) is pipeline
+    wide = pipeline.with_parallelism(4)
+    assert wide is not pipeline
+    assert wide.strategy is pipeline.strategy
+    assert wide.enumerator is pipeline.enumerator
+    assert isinstance(pipeline, OptimizationPipeline)
+
+
+# -- telemetry ---------------------------------------------------------------------------
+def test_session_stats_surface_stage_telemetry():
+    catalog = many_join_catalog()
+    session = QuerySession(catalog, join_enumerator="simpli-squared")
+    session.prepare(many_join_query())
+    stats = session.stats()
+    assert stats["join_enumerator"] == "simpli-squared"
+    assert stats["join_order_candidates"] >= 1
+    assert stats["enumerator_seconds"] > 0.0
+    assert stats["goals_examined"] > 0
+    assert stats["memo_hits"] >= 0
+    assert stats["failure_memo_hits"] >= 0
+    # A cache hit must not re-accumulate optimizer telemetry.
+    goals = stats["goals_examined"]
+    session.prepare(many_join_query())
+    assert session.stats()["goals_examined"] == goals
+
+
+def test_server_stats_aggregate_stage_telemetry():
+    """New SessionMetrics fields must flow through the serving tier's
+    cross-session aggregation (QueryServer.stats iterates the dataclass
+    fields, so this is a canary against field-list drift)."""
+    rng = random.Random(7)
+    from repro.storage import Catalog, Schema, SystemParameters
+    catalog = Catalog(SystemParameters())
+    schema = Schema.of(("a", "int", 8), ("b", "int", 8))
+    catalog.create_table("t", schema,
+                         rows=[(rng.randrange(9), rng.randrange(9))
+                               for _ in range(200)])
+    server = QueryServer(catalog, join_enumerator="greedy-m2m")
+    try:
+        server.execute(Query.table("t").order_by("b", "a"))
+        stats = server.stats()
+        assert stats["goals_examined"] > 0
+        assert stats["join_order_candidates"] >= 1
+        assert stats["enumerator_seconds"] >= 0.0
+    finally:
+        server.close()
