@@ -1,0 +1,154 @@
+"""Expression-kernel microbenchmark: per-row compiled closures vs
+whole-column batch kernels.
+
+Times the two compiled forms of the same expressions
+(:meth:`Expression.compile` vs :meth:`Expression.compile_batch`) over
+identical batched data, per expression shape: simple comparison,
+compound conjunction, arithmetic, and a nested mix.  Fresh ``RowBatch``
+objects are built for every timed pass so the kernel side pays its real
+column-extraction cost each time — cached transposes from a previous
+pass must not flatter it.
+
+The headline metric is ``kernel_speedup``: the geometric mean of the
+per-shape batch/row ratios, gated ≥ 2x by ``check_regression.py``.
+
+Two modes, like the other benches:
+
+* ``pytest benchmarks/bench_kernels.py`` — full run with the shared
+  results sink;
+* ``python benchmarks/bench_kernels.py [--smoke]`` — standalone script
+  (CI's fast smoke job), no pytest required.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+import time
+
+from repro.bench import format_table
+from repro.engine import RowBatch
+from repro.expr import And, col
+from repro.storage import Schema
+
+SCHEMA = Schema.of(("a", "int", 8), ("b", "int", 8), ("c", "int", 8))
+
+#: (name, expression) — the shapes operators actually compile: filter
+#: predicates, compute outputs, and a compound of both.
+SHAPES = [
+    ("compare col<const", col("a").lt(700_000)),
+    ("conjunction", And(col("a").lt(700_000), col("b").ge(100))),
+    ("arithmetic col*const+col", col("a") * 3 + col("b")),
+    ("nested mix", (col("a") - col("b")) * 2 + col("c")),
+]
+
+#: The regression bar: kernels must beat the row closures by this much
+#: (geometric mean across shapes) on the full-size run.
+KERNEL_SPEEDUP_BAR = 2.0
+
+
+def _rows(num_rows: int, seed: int = 11) -> list[tuple]:
+    rng = random.Random(seed)
+    return [(rng.randrange(1_000_000), rng.randrange(1_000),
+             rng.randrange(50)) for _ in range(num_rows)]
+
+
+def _chunks(rows: list[tuple], batch_size: int) -> list[list[tuple]]:
+    return [rows[i:i + batch_size] for i in range(0, len(rows), batch_size)]
+
+
+def _time_row(expr, chunks, repeats: int) -> float:
+    fn = expr.compile(SCHEMA)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for chunk in chunks:
+            [fn(row) for row in chunk]
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_kernel(expr, chunks, repeats: int) -> float:
+    kernel = expr.compile_batch(SCHEMA)
+    best = float("inf")
+    for _ in range(repeats):
+        # Fresh batches every pass: memoized column views from the last
+        # pass would make the kernel look cheaper than it is.
+        batches = [RowBatch(chunk) for chunk in chunks]
+        start = time.perf_counter()
+        for batch in batches:
+            kernel(batch)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_kernel_benchmark(num_rows: int = 200_000, batch_size: int = 1024,
+                         repeats: int = 3) -> dict:
+    """Per-shape row/kernel timings plus the geomean ``kernel_speedup``.
+
+    Also cross-checks output parity per shape — a kernel that drifted
+    from the row semantics must fail the benchmark, not just a test.
+    """
+    rows = _rows(num_rows)
+    chunks = _chunks(rows, batch_size)
+    shapes = []
+    log_sum = 0.0
+    for name, expr in SHAPES:
+        fn = expr.compile(SCHEMA)
+        kernel = expr.compile_batch(SCHEMA)
+        for chunk in chunks[:2]:
+            assert list(kernel(RowBatch(chunk))) == [fn(r) for r in chunk], name
+        row_s = _time_row(expr, chunks, repeats)
+        kern_s = _time_kernel(expr, chunks, repeats)
+        ratio = row_s / kern_s if kern_s else float("inf")
+        log_sum += math.log(ratio)
+        shapes.append({"name": name, "row_ms": row_s * 1000.0,
+                       "kernel_ms": kern_s * 1000.0, "speedup": ratio})
+    geomean = math.exp(log_sum / len(SHAPES))
+    return {"num_rows": num_rows, "batch_size": batch_size,
+            "shapes": shapes, "kernel_speedup": geomean}
+
+
+KERNEL_HEADERS = ["expression shape", "row-closure ms", "kernel ms", "speedup"]
+
+
+def _kernel_rows(result: dict) -> list:
+    return [[s["name"], round(s["row_ms"], 2), round(s["kernel_ms"], 2),
+             round(s["speedup"], 2)] for s in result["shapes"]]
+
+
+# -- pytest entry point ------------------------------------------------------------------
+def test_kernels_beat_row_closures(benchmark, results_sink):
+    result = benchmark.pedantic(run_kernel_benchmark, rounds=1, iterations=1)
+    results_sink(format_table(
+        KERNEL_HEADERS, _kernel_rows(result),
+        title=(f"Expression kernels — whole-column vs per-row closures "
+               f"({result['num_rows']:,} rows, batches of "
+               f"{result['batch_size']}); geomean speedup "
+               f"{result['kernel_speedup']:.2f}x")))
+    benchmark.extra_info["kernel_speedup"] = result["kernel_speedup"]
+    assert result["kernel_speedup"] >= KERNEL_SPEEDUP_BAR, result
+
+
+# -- standalone / CI smoke ---------------------------------------------------------------
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    num_rows = 30_000 if smoke else 200_000
+    result = run_kernel_benchmark(num_rows, repeats=2 if smoke else 3)
+    print(format_table(
+        KERNEL_HEADERS, _kernel_rows(result),
+        title=f"Expression kernels — row closures vs batch kernels "
+              f"({num_rows:,} rows)"))
+    floor = 1.5 if smoke else KERNEL_SPEEDUP_BAR
+    if result["kernel_speedup"] < floor:
+        print(f"FAIL: kernel speedup {result['kernel_speedup']:.2f}x "
+              f"< {floor}x (geomean across shapes)")
+        return 1
+    print(f"\nkernel speedup (geomean): {result['kernel_speedup']:.2f}x")
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,16 +1,17 @@
 """Benchmark-regression gate for CI.
 
 Runs the smoke configurations of ``bench_plan_cache``,
-``bench_join_ordering``, ``bench_scalability`` and ``bench_serving``,
-collects a small set of optimizer/serving/execution metrics, and
-compares them against the checked-in
+``bench_join_ordering``, ``bench_scalability``, ``bench_kernels`` and
+``bench_serving``, collects a small set of optimizer/serving/execution
+metrics, and compares them against the checked-in
 ``BENCH_baseline.json``.  Any metric regressing by more than the
 baseline's tolerance (default 20%) fails the build.
 
 Deterministic metrics (cache hit rates, branch-and-bound goal counts,
-simulated blocks read) are gated tightly by construction; the one
-wall-clock metric (batched-vs-row speedup) is gated against a
-*conservative* baseline so shared-runner noise does not flap the build.
+simulated blocks read) are gated tightly by construction; the
+wall-clock metrics (batched-vs-row, columnar-vs-row-engine and
+kernel-vs-closure speedups) are gated against *conservative* baselines
+so shared-runner noise does not flap the build.
 
 Usage::
 
@@ -38,6 +39,7 @@ from bench_scalability import (  # noqa: E402
     run_shard_enforcer_benchmark,
     run_sharded_join_benchmark,
 )
+from bench_kernels import run_kernel_benchmark  # noqa: E402
 from bench_serving import run_serving_benchmark  # noqa: E402
 
 #: Gated wall-clock ratios that only mean something on a multi-core
@@ -74,7 +76,12 @@ def collect_metrics() -> tuple[dict[str, float], set[str]]:
 
     exec_result = run_batch_speedup(num_rows=30_000, repeats=2)
     metrics["batch_speedup"] = round(exec_result["speedup"], 3)
+    metrics["columnar_speedup"] = round(exec_result["columnar_speedup"], 3)
     metrics["scan_blocks_read"] = float(exec_result["blocks_read"])
+
+    # Expression kernels: whole-column evaluation vs per-row closures.
+    kern = run_kernel_benchmark(num_rows=30_000, repeats=2)
+    metrics["kernel_speedup"] = round(kern["kernel_speedup"], 3)
 
     # Shard-aware enforcement: simulated cost units are deterministic, so
     # both absolute costs and the post-union/merge advantage gate tightly.
@@ -153,10 +160,13 @@ def write_baseline(metrics: dict[str, float]) -> None:
     # serving ratio is pinned even when the host could not measure it
     # (single core), so multi-core CI always gates it.
     pinned = {"batch_speedup": round(1.5 / (1.0 - 0.20), 2),
-              "serving_speedup": round(1.5 / (1.0 - 0.20), 2)}
+              "serving_speedup": round(1.5 / (1.0 - 0.20), 2),
+              "columnar_speedup": round(1.5 / (1.0 - 0.20), 2),
+              "kernel_speedup": round(1.5 / (1.0 - 0.20), 2)}
     for name, value in {**pinned, **metrics}.items():
         higher_is_better = name.startswith(
-            ("cache_hit_rate", "batch_speedup", "serving_speedup",
+            ("cache_hit_rate", "batch_speedup", "columnar_speedup",
+             "kernel_speedup", "serving_speedup",
              "serving_cache_hit_rate", "shard_merge_advantage",
              "sharded_join_advantage", "join_order_search_ratio"))
         if name in pinned:

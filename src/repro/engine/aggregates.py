@@ -25,9 +25,10 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..expr.aggregates import AGGREGATES, AggSpec, aggregate_output_schema
-from .batch import BatchBuilder, RowBatch, batches_of
+from .batch import COLUMNAR_MIN_ROWS, BatchBuilder, RowBatch, batches_of
 from .context import ExecutionContext
-from .iterators import Operator, null_safe_wrap
+from .iterators import Operator, null_safe_wrap, tuple_getter
+from .kernels import OperatorKernels, compile_kernels
 
 #: Aggregates whose partials combine exactly: the combiner applied to
 #: per-shard results equals the aggregate over the whole group.  ``avg``
@@ -65,7 +66,8 @@ class SortAggregate(Operator):
 
     def __init__(self, child: Operator, group_order: SortOrder,
                  aggregates: Sequence[AggSpec],
-                 group_columns: Optional[Sequence[str]] = None) -> None:
+                 group_columns: Optional[Sequence[str]] = None,
+                 kernels: Optional[OperatorKernels] = None) -> None:
         if group_columns is None:
             group_columns = list(group_order)
         group_columns = list(group_columns)
@@ -79,12 +81,18 @@ class SortAggregate(Operator):
         self.group_order = group_order
         self.group_columns = group_columns
         self.aggregates = list(aggregates)
+        self._arg_row_fns, self._arg_batch_fns = compile_kernels(
+            tuple(spec.arg for spec in self.aggregates), child.schema, kernels)
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         child = self.children[0]
         positions = child.schema.positions(list(self.group_order))
-        out_positions = child.schema.positions(self.group_columns)
-        arg_fns = [spec.arg.compile(child.schema) for spec in self.aggregates]
+        out_getter = tuple_getter(child.schema.positions(self.group_columns))
+        arg_fns = self._arg_row_fns
+        if arg_fns is None:  # unbound parameters: raise like the seed engine
+            arg_fns = tuple(spec.arg.compile(child.schema)
+                            for spec in self.aggregates)
+        batch_fns = self._arg_batch_fns if ctx.columnar else None
         funcs = [spec.function for spec in self.aggregates]
 
         batches: Iterable[RowBatch] = child.execute_batches(ctx)
@@ -97,8 +105,17 @@ class SortAggregate(Operator):
             current_group: Optional[tuple] = None
             states: list = []
             for batch in batches:
-                for row in batch.rows:
-                    key = tuple(row[i] for i in positions)
+                rows = batch.rows
+                keys = batch.key_tuples(positions)
+                # Aggregate inputs evaluate whole-column when allowed;
+                # the per-row group-close logic (and its comparison
+                # tally) is identical either way.
+                arg_cols = ([fn(batch) for fn in batch_fns]
+                            if batch_fns is not None
+                            and (batch.is_columnar
+                                 or len(batch) >= COLUMNAR_MIN_ROWS)
+                            else None)
+                for i, key in enumerate(keys):
                     ctx.comparisons.add()
                     if key != current_key:
                         if current_key is not None:
@@ -107,13 +124,21 @@ class SortAggregate(Operator):
                             if emitted is not None:
                                 yield emitted
                         current_key = key
-                        current_group = tuple(row[i] for i in out_positions)
+                        current_group = out_getter(rows[i])
                         states = [f.init() for f in funcs]
-                    for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
-                        value = fn(row)
-                        if value is None and func.ignores_null:
-                            continue
-                        states[j] = func.step(states[j], value)
+                    if arg_cols is None:
+                        row = rows[i]
+                        for j, func in enumerate(funcs):
+                            value = arg_fns[j](row)
+                            if value is None and func.ignores_null:
+                                continue
+                            states[j] = func.step(states[j], value)
+                    else:
+                        for j, func in enumerate(funcs):
+                            value = arg_cols[j][i]
+                            if value is None and func.ignores_null:
+                                continue
+                            states[j] = func.step(states[j], value)
             if current_key is not None:
                 emitted = out.append(current_group + tuple(
                     f.final(s) for f, s in zip(funcs, states)))
@@ -195,8 +220,9 @@ class SortedGroupCombine(Operator):
             current_group: Optional[tuple] = None
             states: list = []
             for batch in child.execute_batches(ctx):
-                for row in batch.rows:
-                    key = tuple(row[i] for i in key_positions)
+                rows = batch.rows
+                for i, key in enumerate(batch.key_tuples(key_positions)):
+                    row = rows[i]
                     ctx.comparisons.add()
                     if key != current_key:
                         if current_key is not None:
@@ -239,32 +265,58 @@ class HashAggregate(Operator):
     name = "HashAggregate"
 
     def __init__(self, child: Operator, group_columns: Sequence[str],
-                 aggregates: Sequence[AggSpec]) -> None:
+                 aggregates: Sequence[AggSpec],
+                 kernels: Optional[OperatorKernels] = None) -> None:
         schema = aggregate_output_schema(list(group_columns), child.schema,
                                          list(aggregates))
         super().__init__(schema, EMPTY_ORDER, [child])
         self.group_columns = list(group_columns)
         self.aggregates = list(aggregates)
+        self._arg_row_fns, self._arg_batch_fns = compile_kernels(
+            tuple(spec.arg for spec in self.aggregates), child.schema, kernels)
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         child = self.children[0]
         positions = child.schema.positions(self.group_columns)
-        arg_fns = [spec.arg.compile(child.schema) for spec in self.aggregates]
+        arg_fns = self._arg_row_fns
+        if arg_fns is None:  # unbound parameters: raise like the seed engine
+            arg_fns = tuple(spec.arg.compile(child.schema)
+                            for spec in self.aggregates)
+        batch_fns = self._arg_batch_fns if ctx.columnar else None
         funcs = [spec.function for spec in self.aggregates]
 
         groups: dict[tuple, list] = {}
         for batch in child.execute_batches(ctx):
-            for row in batch.rows:
-                key = tuple(row[i] for i in positions)
-                states = groups.get(key)
-                if states is None:
-                    states = [f.init() for f in funcs]
-                    groups[key] = states
-                for j, (fn, func) in enumerate(zip(arg_fns, funcs)):
-                    value = fn(row)
-                    if value is None and func.ignores_null:
-                        continue
-                    states[j] = func.step(states[j], value)
+            keys = batch.key_tuples(positions)
+            arg_cols = ([fn(batch) for fn in batch_fns]
+                        if batch_fns is not None
+                        and (batch.is_columnar
+                             or len(batch) >= COLUMNAR_MIN_ROWS)
+                        else None)
+            if arg_cols is None:
+                rows = batch.rows
+                for i, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = [f.init() for f in funcs]
+                        groups[key] = states
+                    row = rows[i]
+                    for j, func in enumerate(funcs):
+                        value = arg_fns[j](row)
+                        if value is None and func.ignores_null:
+                            continue
+                        states[j] = func.step(states[j], value)
+            else:
+                for i, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = [f.init() for f in funcs]
+                        groups[key] = states
+                    for j, func in enumerate(funcs):
+                        value = arg_cols[j][i]
+                        if value is None and func.ignores_null:
+                            continue
+                        states[j] = func.step(states[j], value)
 
         state_bytes = len(groups) * self.schema.row_bytes
         if state_bytes > ctx.params.sort_memory_bytes:

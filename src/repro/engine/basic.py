@@ -1,10 +1,15 @@
 """Tuple-transforming operators: filter, project, compute, sort
-enforcers, limit — batch-vectorized.
+enforcers, limit — batch-vectorized, with whole-column kernel paths.
 
-Filter, project and compute process a whole
-:class:`~repro.engine.batch.RowBatch` with one list comprehension, so
-the per-row Python dispatch of the seed engine collapses into one
-generator resumption per batch.  Selective operators emit one (possibly
+Filter, project and compute compile their expressions **once, at
+construction** (through the process-global kernel cache, or from the
+bundle a prepared plan carries — see :mod:`repro.engine.kernels`), in
+two forms: a row function and a whole-column batch kernel.  At run time
+a batch of at least :data:`~repro.engine.batch.COLUMNAR_MIN_ROWS` rows
+is evaluated columnar — one kernel call per batch instead of one Python
+call per row — unless the context disables it
+(``ExecutionContext(columnar=False)``); tiny batches use the row loop,
+whose output is bit-identical.  Selective operators emit one (possibly
 smaller) batch per input batch instead of re-buffering.
 
 ``Sort`` is the order *enforcer* of the paper: it knows both the target
@@ -25,9 +30,10 @@ from typing import Iterator, Optional, Sequence
 from ..core.sort_order import EMPTY_ORDER, SortOrder, longest_common_prefix
 from ..expr.expressions import Expression, Predicate
 from ..storage.schema import Column, Schema
-from .batch import RowBatch, batches_of, flatten_batches
+from .batch import COLUMNAR_MIN_ROWS, RowBatch, batches_of, flatten_batches
 from .context import CountedKey, ExecutionContext
 from .iterators import Operator, key_function
+from .kernels import OperatorKernels, compile_kernels
 from .sorting import sort_stream
 
 
@@ -36,18 +42,34 @@ class Filter(Operator):
 
     name = "Filter"
 
-    def __init__(self, child: Operator, predicate: Predicate) -> None:
+    def __init__(self, child: Operator, predicate: Predicate,
+                 kernels: Optional[OperatorKernels] = None) -> None:
         if not child.schema.has_all(predicate.columns()):
             missing = set(predicate.columns()) - set(child.schema.names)
             raise ValueError(f"filter references missing columns {missing}")
         super().__init__(child.schema, child.output_order, [child])
         self.predicate = predicate
+        row_fns, batch_fns = compile_kernels((predicate,), child.schema, kernels)
+        self._row_fn = row_fns[0] if row_fns else None
+        self._batch_fn = batch_fns[0] if batch_fns else None
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
-        test = self.predicate.compile(self.schema)
-        return (kept
-                for batch in self.children[0].execute_batches(ctx)
-                if (kept := batch.filter(test)))
+        # Unbound parameters surface here, like the seed engine's
+        # compile-at-execute did.
+        row_fn = self._row_fn or self.predicate.compile(self.schema)
+        batch_fn = self._batch_fn if ctx.columnar else None
+        return self._filtered(ctx, row_fn, batch_fn)
+
+    def _filtered(self, ctx: ExecutionContext, row_fn,
+                  batch_fn) -> Iterator[RowBatch]:
+        for batch in self.children[0].execute_batches(ctx):
+            if batch_fn is not None and (batch.is_columnar
+                                         or len(batch) >= COLUMNAR_MIN_ROWS):
+                kept = batch.compress(batch_fn(batch))
+            else:
+                kept = batch.filter(row_fn)
+            if kept:
+                yield kept
 
     def details(self) -> str:
         return repr(self.predicate)
@@ -68,11 +90,18 @@ class Project(Operator):
         order = child.output_order.restrict_prefix_to(kept)
         super().__init__(schema, order, [child])
         self._positions = child.schema.positions(list(columns))
+        self._identity = list(self._positions) == list(range(len(child.schema)))
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        child = self.children[0]
+        if self._identity:
+            # Pure rename: pass batches through untouched (zero copies).
+            return child.execute_batches(ctx)
         positions = self._positions
-        return (RowBatch(batch.take(positions))
-                for batch in self.children[0].execute_batches(ctx))
+        # ``project`` re-uses the input's column objects when columnar
+        # and builds tuples via itemgetter otherwise.
+        return (batch.project(positions)
+                for batch in child.execute_batches(ctx))
 
     def details(self) -> str:
         return ", ".join(self.schema.names)
@@ -87,16 +116,45 @@ class Compute(Operator):
     name = "Compute"
 
     def __init__(self, child: Operator, outputs: Sequence[tuple[str, Expression]],
-                 output_size: int = 8) -> None:
+                 output_size: int = 8,
+                 kernels: Optional[OperatorKernels] = None) -> None:
         new_cols = [Column(name, "num", output_size) for name, _ in outputs]
         schema = Schema(list(child.schema) + new_cols)
         super().__init__(schema, child.output_order, [child])
         self.outputs = list(outputs)
+        self._row_fns, self._batch_fns = compile_kernels(
+            tuple(expr for _, expr in self.outputs), child.schema, kernels)
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
-        fns = [expr.compile(self.children[0].schema) for _, expr in self.outputs]
-        return (RowBatch([row + tuple(fn(row) for fn in fns) for row in batch.rows])
-                for batch in self.children[0].execute_batches(ctx))
+        row_fns = self._row_fns
+        if row_fns is None:  # unbound parameters: raise like the seed engine
+            row_fns = tuple(expr.compile(self.children[0].schema)
+                            for _, expr in self.outputs)
+        batch_fns = self._batch_fns if ctx.columnar else None
+        return self._computed(ctx, row_fns, batch_fns)
+
+    def _computed(self, ctx: ExecutionContext, row_fns,
+                  batch_fns) -> Iterator[RowBatch]:
+        for batch in self.children[0].execute_batches(ctx):
+            if batch_fns is not None and (batch.is_columnar
+                                          or len(batch) >= COLUMNAR_MIN_ROWS):
+                new_cols = [fn(batch) for fn in batch_fns]
+                if batch.is_columnar:
+                    cols = list(batch.columns)
+                    cols.extend(new_cols)
+                    yield RowBatch.from_columns(cols, len(batch))
+                elif len(new_cols) == 1:
+                    # Row-backed input stays row-backed: append the
+                    # kernel's values without transposing the old
+                    # columns there and back.
+                    yield RowBatch([row + (v,) for row, v
+                                    in zip(batch.rows, new_cols[0])])
+                else:
+                    yield RowBatch([row + ext for row, ext
+                                    in zip(batch.rows, zip(*new_cols))])
+            else:
+                yield RowBatch([row + tuple(fn(row) for fn in row_fns)
+                                for row in batch.rows])
 
     def details(self) -> str:
         return ", ".join(f"{name}={expr}" for name, expr in self.outputs)
@@ -195,7 +253,7 @@ class Limit(Operator):
                 remaining -= len(batch)
                 yield batch
             else:
-                yield RowBatch(batch.rows[:remaining])
+                yield batch.head(remaining)
                 return
 
     def details(self) -> str:

@@ -3,10 +3,18 @@
 The engine executes **batch-vectorized pull**: ``Operator.execute_batches``
 yields :class:`RowBatch` chunks instead of single tuples, so the
 Python-level dispatch cost (one generator resumption, one virtual call)
-is paid once per *batch* rather than once per *row*.  A batch is a thin
-wrapper over a list of row tuples with columnar accessors; operators
-like filter and project process a whole batch with a single list
-comprehension.
+is paid once per *batch* rather than once per *row*.
+
+A batch keeps a **dual representation**: a list of row tuples
+(array-of-structs, the seed engine's layout) and a struct-of-arrays
+column list.  Either side is materialised lazily from the other with a
+single C-level ``zip`` transpose and then cached, so row-level consumers
+(``batch.rows``) and whole-column kernels (``batch.column``,
+:meth:`Expression.compile_batch <repro.expr.expressions.Expression.compile_batch>`)
+each pay at most one transpose per batch.  Column views are zero-copy:
+``column()`` returns the cached column object itself, and columnar
+projection (:meth:`RowBatch.project`) re-uses the input's column objects
+without copying values.
 
 Contract (see ``docs/execution.md``):
 
@@ -18,7 +26,10 @@ Contract (see ``docs/execution.md``):
   row order) the row-at-a-time engine produced — simulated I/O and
   comparison counts are **independent of the batch size** for
   run-to-completion queries (early-terminating consumers pay I/O at
-  batch granularity; ``batch_size=1`` reproduces row-level payment).
+  batch granularity; ``batch_size=1`` reproduces row-level payment);
+* the columnar path is an *identical-output* fast path: disabling it
+  (``ExecutionContext(columnar=False)``) changes wall-clock only, never
+  rows, tallies or block charges.
 
 ``BlockCharger`` implements batch-aware block accounting: it charges
 each simulated disk block exactly once as the scan cursor crosses it,
@@ -28,29 +39,103 @@ progressive charging for every batch size.
 
 from __future__ import annotations
 
-from itertools import islice
+from itertools import compress, islice
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 #: Default number of rows per batch.  Large enough to amortize operator
 #: dispatch, small enough that a batch of wide rows stays cache-friendly.
 DEFAULT_BATCH_SIZE = 1024
 
+#: Below this many rows, whole-column kernels lose to the plain row loop
+#: (the transpose + per-column dispatch overhead dominates), so operators
+#: fall back to their compiled row path for tiny batches.
+COLUMNAR_MIN_ROWS = 8
 
-class RowBatch:
-    """A chunk of row tuples flowing between operators.
 
-    Deliberately minimal: iteration, length, indexing, and columnar
-    accessors.  The wrapped list is owned by the batch — operators that
-    need to mutate rows must copy.
+class _ColumnarTelemetry:
+    """Process-wide count of batches that materialised a columnar side.
+
+    A plain attribute bump (GIL-atomic enough for telemetry); surfaced
+    through ``QuerySession.stats()`` / ``QueryServer.stats()`` together
+    with the kernel-cache counters.
     """
 
-    __slots__ = ("rows",)
+    __slots__ = ("columnar_batches",)
+
+    def __init__(self) -> None:
+        self.columnar_batches = 0
+
+
+_TELEMETRY = _ColumnarTelemetry()
+
+
+def columnar_batches_total() -> int:
+    """How many batches have been built or transposed columnar so far."""
+    return _TELEMETRY.columnar_batches
+
+
+def reset_columnar_batches() -> None:
+    """Reset the columnar-batch counter (tests and benchmarks)."""
+    _TELEMETRY.columnar_batches = 0
+
+
+class RowBatch:
+    """A chunk of rows flowing between operators (dual row/column layout).
+
+    Deliberately minimal: iteration, length, indexing, and columnar
+    accessors.  The wrapped row list / column lists are owned by the
+    batch — operators that need to mutate rows must copy.
+    """
+
+    __slots__ = ("_rows", "_cols", "_colmemo", "_length")
 
     def __init__(self, rows: list[tuple]) -> None:
-        self.rows = rows
+        self._rows = rows
+        self._cols: Optional[list] = None
+        self._colmemo: Optional[dict] = None
+        self._length = len(rows)
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[Sequence], length: int) -> "RowBatch":
+        """Build a columnar batch from equal-length column sequences.
+
+        ``length`` is explicit so zero-column schemas keep their row
+        count.  The column objects are adopted, not copied.
+        """
+        batch = cls.__new__(cls)
+        batch._rows = None
+        batch._cols = list(columns)
+        batch._colmemo = None
+        batch._length = length
+        _TELEMETRY.columnar_batches += 1
+        return batch
+
+    # -- representation ---------------------------------------------------------------
+    @property
+    def is_columnar(self) -> bool:
+        """True when the struct-of-arrays side is materialised."""
+        return self._cols is not None
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The rows as a list of tuples (transposed from columns lazily)."""
+        if self._rows is None:
+            cols = self._cols
+            self._rows = list(zip(*cols)) if cols else [()] * self._length
+        return self._rows
+
+    @property
+    def columns(self) -> list:
+        """All columns (transposed from rows lazily; zero-copy thereafter)."""
+        if self._cols is None:
+            self._cols = list(zip(*self._rows))
+            if self._colmemo is None:  # already counted on first column()
+                _TELEMETRY.columnar_batches += 1
+        return self._cols
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -59,23 +144,117 @@ class RowBatch:
         return self.rows[i]
 
     def __bool__(self) -> bool:
-        return bool(self.rows)
+        return self._length > 0
 
     # -- columnar access -------------------------------------------------------------
-    def column(self, position: int) -> list:
-        """All values of one column (by schema position)."""
-        return [row[position] for row in self.rows]
+    def column(self, position: int) -> Sequence:
+        """All values of one column (by schema position); zero-copy view.
+
+        On a row-backed batch this extracts *only* the requested column
+        (one comprehension) and memoizes it — a kernel touching two of
+        ten columns never pays for the other eight.  The full transpose
+        happens only when ``columns`` itself is asked for.
+        """
+        if self._length == 0:
+            return []
+        cols = self._cols
+        if cols is not None:
+            return cols[position]
+        memo = self._colmemo
+        if memo is None:
+            memo = self._colmemo = {}
+            _TELEMETRY.columnar_batches += 1
+        col = memo.get(position)
+        if col is None:
+            col = memo[position] = [row[position] for row in self._rows]
+        return col
+
+    def _is_identity(self, positions: Sequence[int]) -> bool:
+        width = (len(self._cols) if self._cols is not None
+                 else (len(self._rows[0]) if self._rows else 0))
+        return len(positions) == width and list(positions) == list(range(width))
 
     def take(self, positions: Sequence[int]) -> list[tuple]:
-        """Project every row to the given positions (new tuples)."""
-        return [tuple(row[i] for i in positions) for row in self.rows]
+        """Project every row to the given positions.
+
+        Identity projections return the batch's own row list without
+        building new tuples.
+        """
+        if not self._length:
+            return []
+        if self._is_identity(positions):
+            return self.rows
+        if len(positions) == 1:
+            pos = positions[0]
+            return [(v,) for v in self.column(pos)] if self._cols is not None \
+                else [(row[pos],) for row in self._rows]
+        getter = itemgetter(*positions)
+        return [getter(row) for row in self.rows]
+
+    def project(self, positions: Sequence[int]) -> "RowBatch":
+        """A batch projected to the given positions.
+
+        Identity projections return ``self``; columnar inputs re-use the
+        column objects (zero copies); row-backed inputs build new tuples.
+        """
+        if self._is_identity(positions):
+            return self
+        if self._cols is not None:
+            cols = self._cols
+            return RowBatch.from_columns([cols[p] for p in positions], self._length)
+        return RowBatch(self.take(positions))
+
+    def key_tuples(self, positions: Sequence[int]) -> list[tuple]:
+        """Per-row key tuples over the given positions (join/group keys)."""
+        if not self._length:
+            return []
+        if not positions:
+            return [()] * self._length
+        if self._cols is not None:
+            cols = self._cols
+            if len(positions) == 1:
+                return [(v,) for v in cols[positions[0]]]
+            return list(zip(*[cols[p] for p in positions]))
+        if len(positions) == 1:
+            pos = positions[0]
+            return [(row[pos],) for row in self._rows]
+        getter = itemgetter(*positions)
+        return [getter(row) for row in self._rows]
 
     def filter(self, keep: Callable[[tuple], bool]) -> "RowBatch":
         """A new batch holding only rows satisfying *keep*."""
         return RowBatch([row for row in self.rows if keep(row)])
 
+    def compress(self, mask: Sequence) -> "RowBatch":
+        """Rows at truthy mask positions (the selection-vector apply).
+
+        Returns ``self`` untouched when every row survives, and an empty
+        (falsy) batch when none do.
+        """
+        alive = sum(1 for m in mask if m)
+        if alive == self._length:
+            return self
+        if alive == 0:
+            return RowBatch([])
+        # Prefer the row side when it exists: one zip-filter beats a
+        # per-column compress plus the transpose a row consumer would
+        # pay downstream.
+        if self._rows is not None:
+            return RowBatch([row for row, m in zip(self._rows, mask) if m])
+        return RowBatch.from_columns(
+            [tuple(compress(col, mask)) for col in self._cols], alive)
+
+    def head(self, n: int) -> "RowBatch":
+        """The first *n* rows (``self`` when the batch is no longer)."""
+        if n >= self._length:
+            return self
+        if self._rows is not None:
+            return RowBatch(self._rows[:n])
+        return RowBatch.from_columns([col[:n] for col in self._cols], n)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RowBatch({len(self.rows)} rows)"
+        layout = "columnar" if self._cols is not None else "rows"
+        return f"RowBatch({self._length} rows, {layout})"
 
 
 def batches_of(rows: Iterable[tuple], batch_size: int) -> Iterator[RowBatch]:

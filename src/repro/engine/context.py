@@ -132,7 +132,8 @@ class ExecutionContext:
     def __init__(self, catalog: Optional[Catalog] = None,
                  params: Optional[SystemParameters] = None,
                  check_orders: bool = False,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 columnar: bool = True) -> None:
         self.catalog = catalog
         self.params = params or (catalog.params if catalog else SystemParameters())
         self.io = IOAccountant()
@@ -147,6 +148,11 @@ class ExecutionContext:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        #: When false, operators skip the whole-column kernel fast paths
+        #: and run their compiled row loops (the PR-2 row-tuple batched
+        #: engine).  Output rows, tallies and block charges are identical
+        #: either way; the flag exists for benchmarks and parity tests.
+        self.columnar = columnar
 
     # -- derived ---------------------------------------------------------------------
     def cost_units(self) -> float:
@@ -193,7 +199,7 @@ class ExecutionContext:
         deterministic regardless of thread interleaving.
         """
         return ExecutionContext(self.catalog, self.params, self.check_orders,
-                                self.batch_size)
+                                self.batch_size, self.columnar)
 
     def tallies(self) -> dict[str, int]:
         """All counters as a flat, picklable dict.

@@ -20,6 +20,7 @@ the benchmark harness relies on.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.sort_order import EMPTY_ORDER, SortOrder
@@ -145,7 +146,22 @@ def null_safe_wrap(values: tuple) -> tuple:
     return tuple((False, 0) if v is None else (True, v) for v in values)
 
 
+def tuple_getter(positions: Sequence[int]) -> Callable[[tuple], tuple]:
+    """Row → tuple-of-positions extractor (``itemgetter``-backed).
+
+    Unlike a bare ``itemgetter``, always returns a tuple — including for
+    a single position and for no positions at all.
+    """
+    positions = tuple(positions)
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        pos = positions[0]
+        return lambda row: (row[pos],)
+    return itemgetter(*positions)
+
+
 def key_function(schema: Schema, order: SortOrder | Sequence[str]) -> Callable[[tuple], tuple]:
     """Row → null-safe key-tuple extractor for the given attribute sequence."""
-    positions = schema.positions(list(order))
-    return lambda row: null_safe_wrap(tuple(row[i] for i in positions))
+    getter = tuple_getter(schema.positions(list(order)))
+    return lambda row: null_safe_wrap(getter(row))

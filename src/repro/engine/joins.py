@@ -25,7 +25,8 @@ from ..expr.expressions import JoinPredicate, Predicate
 from ..storage.schema import Schema
 from .batch import BatchBuilder, RowBatch, batches_of, collect_rows, flatten_batches
 from .context import ExecutionContext
-from .iterators import Operator, assert_sorted_rows, null_safe_wrap
+from .iterators import Operator, assert_sorted_rows, null_safe_wrap, tuple_getter
+from .kernels import OperatorKernels, compile_kernels
 
 JOIN_TYPES = ("inner", "left", "full")
 
@@ -41,11 +42,11 @@ class _GroupReader:
 
     def __init__(self, rows: Iterator[tuple], key_positions: Sequence[int]) -> None:
         self._rows = rows
-        self._positions = tuple(key_positions)
+        self._getter = tuple_getter(key_positions)
         self._pending: object = next(rows, self._DONE)
 
     def _key_of(self, row: tuple) -> tuple:
-        return null_safe_wrap(tuple(row[i] for i in self._positions))
+        return null_safe_wrap(self._getter(row))
 
     @property
     def exhausted(self) -> bool:
@@ -217,10 +218,11 @@ class HashJoin(Operator):
         if spills:
             self._charge_grace(ctx, len(build_rows), left.schema.row_bytes)
 
+        lgetter = tuple_getter(lpos)
         table: dict[tuple, list[tuple]] = {}
         null_build_rows: list[tuple] = []
         for row in build_rows:
-            key = tuple(row[i] for i in lpos)
+            key = lgetter(row)
             if any(v is None for v in key):
                 null_build_rows.append(row)  # NULLs never join
             else:
@@ -231,8 +233,8 @@ class HashJoin(Operator):
         out = BatchBuilder(ctx.batch_size)
         for rbatch in right.execute_batches(ctx):
             probe_count += len(rbatch)
-            for rrow in rbatch.rows:
-                key = tuple(rrow[i] for i in rpos)
+            # Whole-batch key extraction (columnar zip or itemgetter map).
+            for rrow, key in zip(rbatch.rows, rbatch.key_tuples(rpos)):
                 group = None if any(v is None for v in key) else table.get(key)
                 if group:
                     if full:
@@ -273,9 +275,10 @@ class HashJoin(Operator):
         spills = len(build_rows) * right.schema.row_bytes > ctx.params.sort_memory_bytes
         if spills:
             self._charge_grace(ctx, len(build_rows), right.schema.row_bytes)
+        rgetter = tuple_getter(rpos)
         rtable: dict[tuple, list[tuple]] = {}
         for rrow in build_rows:
-            key = tuple(rrow[i] for i in rpos)
+            key = rgetter(rrow)
             if not any(v is None for v in key):
                 rtable.setdefault(key, []).append(rrow)
 
@@ -284,8 +287,7 @@ class HashJoin(Operator):
         out = BatchBuilder(ctx.batch_size)
         for lbatch in left.execute_batches(ctx):
             probe_count += len(lbatch)
-            for lrow in lbatch.rows:
-                key = tuple(lrow[i] for i in lpos)
+            for lrow, key in zip(lbatch.rows, lbatch.key_tuples(lpos)):
                 group = None if any(v is None for v in key) else rtable.get(key)
                 if group:
                     emitted = out.extend(lrow + rrow for rrow in group)
@@ -316,11 +318,17 @@ class NestedLoopsJoin(Operator):
 
     def __init__(self, left: Operator, right: Operator,
                  predicate: Optional[JoinPredicate] = None,
-                 residual: Optional[Predicate] = None) -> None:
+                 residual: Optional[Predicate] = None,
+                 kernels: Optional[OperatorKernels] = None) -> None:
         schema = left.schema.concat(right.schema)
         super().__init__(schema, left.output_order, [left, right])
         self.predicate = predicate
         self.residual = residual
+        if residual is not None:
+            row_fns, _ = compile_kernels((residual,), schema, kernels)
+            self._residual_fn = row_fns[0] if row_fns else None
+        else:
+            self._residual_fn = None
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         left, right = self.children
@@ -332,7 +340,13 @@ class NestedLoopsJoin(Operator):
         pairs = self.predicate.pairs if self.predicate else ()
         lpos = left.schema.positions([l for l, _ in pairs]) if pairs else ()
         rpos = right.schema.positions([r for _, r in pairs]) if pairs else ()
-        residual_fn = self.residual.compile(self.schema) if self.residual else None
+        residual_fn = self._residual_fn
+        if self.residual is not None and residual_fn is None:
+            residual_fn = self.residual.compile(self.schema)  # unbound → raise
+        lgetter = tuple_getter(lpos)
+        rgetter = tuple_getter(rpos)
+        # Inner keys are extracted once, not once per outer row.
+        inner_keyed = [(rrow, rgetter(rrow)) for rrow in inner]
 
         def stream() -> Iterator[RowBatch]:
             out = BatchBuilder(ctx.batch_size)
@@ -343,12 +357,12 @@ class NestedLoopsJoin(Operator):
                         # One full inner re-read per outer memory-load.
                         ctx.io.read(inner_blocks, category="scan")
                     i += 1
-                    lkey = tuple(lrow[p] for p in lpos)
-                    for rrow in inner:
+                    lkey = lgetter(lrow)
+                    lkey_has_null = any(v is None for v in lkey)
+                    for rrow, rkey in inner_keyed:
                         if pairs:
-                            rkey = tuple(rrow[p] for p in rpos)
                             ctx.comparisons.add()
-                            if lkey != rkey or any(v is None for v in lkey):
+                            if lkey != rkey or lkey_has_null:
                                 continue
                         row = lrow + rrow
                         if residual_fn is not None and not residual_fn(row):

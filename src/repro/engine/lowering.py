@@ -30,6 +30,17 @@ op                     args
 ``HashDedup``          —
 ``Limit``              ``k``
 =====================  ==========================================================
+
+Expression-bearing ops (``Filter``, ``Compute``, ``NestedLoopsJoin``,
+``SortAggregate``, ``HashAggregate``) additionally accept an optional
+``kernels`` arg: a pre-compiled
+:class:`~repro.engine.kernels.OperatorKernels` bundle attached at
+prepare time by :func:`~repro.engine.kernels.attach_plan_kernels`.  It
+is advisory — lowering passes it to the operator constructor, which
+falls back to compiling (through the process-global kernel cache) when
+absent.  Bundles are deliberately unpicklable;
+:func:`~repro.engine.subplan.strip_plan` drops them before a plan
+crosses a process boundary.
 """
 
 from __future__ import annotations
@@ -92,11 +103,13 @@ def operators_from_plan(plan, catalog: "Catalog",
                      if ix.name == plan.arg("index"))
         return CoveringIndexScan(index)
     if op == "Filter":
-        return Filter(children[0], plan.arg("predicate"))
+        return Filter(children[0], plan.arg("predicate"),
+                      kernels=plan.arg("kernels"))
     if op == "Project":
         return Project(children[0], list(plan.arg("columns")))
     if op == "Compute":
-        return Compute(children[0], list(plan.arg("outputs")))
+        return Compute(children[0], list(plan.arg("outputs")),
+                       kernels=plan.arg("kernels"))
     if op in ("Sort", "PartialSort"):
         prefix = plan.arg("prefix", EMPTY_ORDER)
         algorithm = plan.arg("algorithm", "auto")
@@ -112,18 +125,21 @@ def operators_from_plan(plan, catalog: "Catalog",
                         plan.arg("join_type", "inner"))
     if op == "NestedLoopsJoin":
         return NestedLoopsJoin(children[0], children[1],
-                               plan.arg("predicate"), plan.arg("residual"))
+                               plan.arg("predicate"), plan.arg("residual"),
+                               kernels=plan.arg("kernels"))
     if op == "SortAggregate":
         return SortAggregate(children[0], plan.order,
                              list(plan.arg("aggregates")),
-                             group_columns=list(plan.arg("group_columns")))
+                             group_columns=list(plan.arg("group_columns")),
+                             kernels=plan.arg("kernels"))
     if op == "SortedCombine":
         return SortedGroupCombine(children[0], plan.order,
                                   list(plan.arg("group_columns")),
                                   list(plan.arg("aggregates")))
     if op == "HashAggregate":
         return HashAggregate(children[0], list(plan.arg("group_columns")),
-                             list(plan.arg("aggregates")))
+                             list(plan.arg("aggregates")),
+                             kernels=plan.arg("kernels"))
     if op == "MergeUnion":
         return MergeUnion(children[0], children[1], plan.order)
     if op == "UnionAll":

@@ -108,19 +108,20 @@ class Dedup(Operator):
         super().__init__(child.schema, order, [child])
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
-        key_fn = key_function(self.schema, self.output_order)
+        positions = self.schema.positions(list(self.output_order))
         batches = self.children[0].execute_batches(ctx)
         if ctx.check_orders:
-            positions = self.schema.positions(list(self.output_order))
             batches = assert_sorted_batches(batches, positions, "Dedup input")
 
         def stream() -> Iterator[RowBatch]:
+            # Keys are compared only for equality, so the raw key tuples
+            # from the batch suffice (no null-safe wrapping needed —
+            # tuple equality already treats NULLs consistently).
             last: Optional[tuple] = None
             counter = ctx.comparisons
             for batch in batches:
                 kept: list[tuple] = []
-                for row in batch.rows:
-                    key = key_fn(row)
+                for row, key in zip(batch.rows, batch.key_tuples(positions)):
                     counter.add()
                     if key != last:
                         kept.append(row)

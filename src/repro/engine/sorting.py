@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 from ..core.sort_order import SortOrder
 from ..storage.schema import Schema
 from .context import CountedKey, ExecutionContext
-from .iterators import null_safe_wrap
+from .iterators import null_safe_wrap, tuple_getter
 
 KeyFn = Callable[[tuple], tuple]
 
@@ -260,8 +260,10 @@ def sort_stream(
     positions = schema.positions(list(target_order))
     k = len(known_prefix)
 
+    full_getter = tuple_getter(positions)
+
     def full_key(row: tuple) -> tuple:
-        return null_safe_wrap(tuple(row[i] for i in positions))
+        return null_safe_wrap(full_getter(row))
 
     if algorithm == "mrs" and k == 0:
         raise ValueError("MRS requires a non-empty known sort-order prefix")
@@ -271,14 +273,14 @@ def sort_stream(
         # Input already fully sorted; nothing to do.
         return iter(rows)
     if use_mrs:
-        prefix_positions = positions[:k]
-        suffix_positions = positions[k:]
+        prefix_getter = tuple_getter(positions[:k])
+        suffix_getter = tuple_getter(positions[k:])
 
         def segment_key(row: tuple) -> tuple:
-            return null_safe_wrap(tuple(row[i] for i in prefix_positions))
+            return null_safe_wrap(prefix_getter(row))
 
         def suffix_key(row: tuple) -> tuple:
-            return null_safe_wrap(tuple(row[i] for i in suffix_positions))
+            return null_safe_wrap(suffix_getter(row))
 
         return mrs_sort(rows, segment_key, suffix_key, ctx, row_bytes, full_key)
     return srs_sort(rows, full_key, ctx, row_bytes)

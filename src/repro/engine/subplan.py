@@ -71,14 +71,24 @@ def exchange_occurrences(plan) -> list:
     return out
 
 
+#: Plan args that must never cross a process boundary: ``logical`` is an
+#: optimizer-only back-reference; ``kernels`` holds compiled closures
+#: (:class:`~repro.engine.kernels.OperatorKernels` refuses to pickle by
+#: design — workers recompile against their own catalog snapshot and
+#: keep warm per-process kernel caches instead).
+_UNPICKLABLE_ARGS = ("logical", "kernels")
+
+
 def strip_plan(plan):
     """A copy of *plan* without optimizer-only args (``logical``
-    back-references into the logical tree); lowering never reads them
-    and the pickled task shrinks accordingly."""
+    back-references into the logical tree) and without compiled kernel
+    bundles (unpicklable by construction); lowering in the worker
+    recompiles kernels through its process-global cache, and the pickled
+    task shrinks accordingly."""
     from ..optimizer.plans import PhysicalPlan
 
     children = tuple(strip_plan(c) for c in plan.children)
-    args = tuple((k, v) for k, v in plan.args if k != "logical")
+    args = tuple((k, v) for k, v in plan.args if k not in _UNPICKLABLE_ARGS)
     if children == plan.children and args == plan.args:
         return plan
     return PhysicalPlan(plan.op, plan.schema, plan.order, plan.stats,

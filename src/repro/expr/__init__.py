@@ -11,6 +11,7 @@ from .expressions import (
     Or,
     Param,
     Predicate,
+    UnboundParamError,
     col,
     param,
     wrap,
@@ -31,6 +32,7 @@ __all__ = [
     "Or",
     "Param",
     "Predicate",
+    "UnboundParamError",
     "col",
     "param",
     "wrap",

@@ -6,8 +6,20 @@ constants, arithmetic (Query 5 computes ``Quantity * Price``),
 comparisons, conjunction/disjunction, and equality join predicates.
 
 Expressions are compiled against a :class:`~repro.storage.schema.Schema`
-into plain Python callables over row tuples, so the inner loop of the
-executor pays no interpretation overhead beyond one function call.
+in two forms:
+
+* :meth:`Expression.compile` — a plain Python callable over one row
+  tuple (the seed engine's inner loop);
+* :meth:`Expression.compile_batch` — a **whole-column kernel** over a
+  :class:`~repro.engine.batch.RowBatch`, returning one output value per
+  row as a list.  Kernels evaluate a batch with a handful of C-level
+  calls (``itemgetter``, one list comprehension per node) instead of a
+  Python call per row, and ``And``/``Or`` short-circuit with a selection
+  vector: later conjuncts only evaluate the rows still undecided.
+
+Both forms implement identical semantics (SQL NULL propagation for
+arithmetic, NULL-rejecting comparisons), so operators can switch between
+them freely without changing results.
 """
 
 from __future__ import annotations
@@ -19,6 +31,18 @@ from typing import Any, Callable, Iterable, Union
 from ..storage.schema import Schema
 
 RowFn = Callable[[tuple], Any]
+#: A batch kernel: RowBatch → list of one output value per row.  Typed
+#: loosely to keep this module import-free of the engine package.
+BatchFn = Callable[[Any], list]
+
+
+class UnboundParamError(ValueError):
+    """Compiling an expression that still contains a :class:`Param`.
+
+    A ``ValueError`` subclass so seed-era callers that catch/assert
+    ``ValueError`` keep working; the engine's operators catch this
+    specific type to defer compilation until parameters are bound.
+    """
 
 _BIN_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "+": operator.add,
@@ -47,6 +71,17 @@ class Expression:
     def compile(self, schema: Schema) -> RowFn:
         """Compile to a row → value callable positionally bound to *schema*."""
         raise NotImplementedError
+
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        """Compile to a batch → column (list of per-row values) kernel.
+
+        The fallback maps the compiled row function over the batch, so
+        any ``Expression`` subclass gets a correct (if unvectorized)
+        kernel for free; the concrete nodes below override it with
+        whole-column paths.
+        """
+        fn = self.compile(schema)
+        return lambda batch: [fn(row) for row in batch.rows]
 
     # -- operator sugar ----------------------------------------------------------
     def __add__(self, other) -> "BinOp":
@@ -100,6 +135,11 @@ class Col(Expression):
         pos = schema.position(self.name)
         return operator.itemgetter(pos)
 
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        pos = schema.position(self.name)
+        # Zero-copy: the batch's cached column object itself.
+        return lambda batch: batch.column(pos)
+
     def __repr__(self) -> str:
         return self.name
 
@@ -116,6 +156,10 @@ class Const(Expression):
     def compile(self, schema: Schema) -> RowFn:
         value = self.value
         return lambda row: value
+
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        value = self.value
+        return lambda batch: [value] * len(batch)
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -139,7 +183,12 @@ class Param(Expression):
         return frozenset()
 
     def compile(self, schema: Schema) -> RowFn:
-        raise ValueError(
+        raise UnboundParamError(
+            f"unbound query parameter :{self.name}; execute the query "
+            "through a prepared statement that supplies a binding")
+
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        raise UnboundParamError(
             f"unbound query parameter :{self.name}; execute the query "
             "through a prepared statement that supplies a binding")
 
@@ -180,6 +229,27 @@ class BinOp(Expression):
             return fn(left, right)
 
         return apply
+
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        fn = _BIN_OPS[self.op]
+        left, right = self.left, self.right
+        # col ⊗ const (and mirrored): one comprehension over the column,
+        # no per-row operand dispatch.
+        if isinstance(left, Col) and isinstance(right, Const):
+            pos, k = schema.position(left.name), right.value
+            if k is None:
+                return lambda batch: [None] * len(batch)
+            return lambda batch: [None if v is None else fn(v, k)
+                                  for v in batch.column(pos)]
+        if isinstance(left, Const) and isinstance(right, Col):
+            pos, k = schema.position(right.name), left.value
+            if k is None:
+                return lambda batch: [None] * len(batch)
+            return lambda batch: [None if v is None else fn(k, v)
+                                  for v in batch.column(pos)]
+        lf, rf = left.compile_batch(schema), right.compile_batch(schema)
+        return lambda batch: [None if a is None or b is None else fn(a, b)
+                              for a, b in zip(lf(batch), rf(batch))]
 
     def __repr__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
@@ -226,6 +296,33 @@ class Comparison(Predicate):
 
         return apply
 
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        fn = _CMP_OPS[self.op]
+        left, right = self.left, self.right
+        # The dominant filter shapes get dedicated column loops; all keep
+        # the row path's NULL-is-UNKNOWN-is-rejected semantics.
+        if isinstance(left, Col) and isinstance(right, Const):
+            pos, k = schema.position(left.name), right.value
+            if k is None:
+                return lambda batch: [False] * len(batch)
+            return lambda batch: [v is not None and fn(v, k)
+                                  for v in batch.column(pos)]
+        if isinstance(left, Const) and isinstance(right, Col):
+            pos, k = schema.position(right.name), left.value
+            if k is None:
+                return lambda batch: [False] * len(batch)
+            return lambda batch: [v is not None and fn(k, v)
+                                  for v in batch.column(pos)]
+        if isinstance(left, Col) and isinstance(right, Col):
+            lpos, rpos = schema.position(left.name), schema.position(right.name)
+            return lambda batch: [
+                a is not None and b is not None and fn(a, b)
+                for a, b in zip(batch.column(lpos), batch.column(rpos))]
+        lf, rf = left.compile_batch(schema), right.compile_batch(schema)
+        return lambda batch: [
+            a is not None and b is not None and fn(a, b)
+            for a, b in zip(lf(batch), rf(batch))]
+
     def selectivity(self, stats) -> float:
         if self.op == "=":
             # col = const/param → 1/D(col); col = col by join estimation.
@@ -267,6 +364,32 @@ class And(Predicate):
         fns = [p.compile(schema) for p in self.parts]
         return lambda row: all(fn(row) for fn in fns)
 
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        fns = [p.compile_batch(schema) for p in self.parts]
+        if not fns:
+            return lambda batch: [True] * len(batch)
+        if len(fns) == 1:
+            return fns[0]
+        first, rest = fns[0], fns[1:]
+
+        def kernel(batch) -> list:
+            # Selection-vector short-circuit: each later conjunct only
+            # evaluates the rows still alive, on a compressed sub-batch,
+            # and its verdicts are scattered back into the mask.
+            mask = list(first(batch))
+            for fn in rest:
+                alive = sum(1 for m in mask if m)
+                if alive == 0:
+                    return mask
+                if alive == len(mask):
+                    mask = list(fn(batch))
+                    continue
+                verdicts = iter(fn(batch.compress(mask)))
+                mask = [next(verdicts) if m else False for m in mask]
+            return mask
+
+        return kernel
+
     def selectivity(self, stats) -> float:
         sel = 1.0
         for p in self.parts:
@@ -301,6 +424,31 @@ class Or(Predicate):
     def compile(self, schema: Schema) -> RowFn:
         fns = [p.compile(schema) for p in self.parts]
         return lambda row: any(fn(row) for fn in fns)
+
+    def compile_batch(self, schema: Schema) -> BatchFn:
+        fns = [p.compile_batch(schema) for p in self.parts]
+        if not fns:
+            return lambda batch: [False] * len(batch)
+        if len(fns) == 1:
+            return fns[0]
+        first, rest = fns[0], fns[1:]
+
+        def kernel(batch) -> list:
+            # Dual of the And kernel: later disjuncts only evaluate the
+            # rows not yet accepted.
+            mask = list(first(batch))
+            for fn in rest:
+                undecided = sum(1 for m in mask if not m)
+                if undecided == 0:
+                    return mask
+                if undecided == len(mask):
+                    mask = list(fn(batch))
+                    continue
+                verdicts = iter(fn(batch.compress([not m for m in mask])))
+                mask = [m if m else next(verdicts) for m in mask]
+            return mask
+
+        return kernel
 
     def selectivity(self, stats) -> float:
         miss = 1.0

@@ -46,6 +46,7 @@ from functools import partial
 from typing import Any, Optional
 
 from ..core.sort_order import SortOrder
+from ..engine.kernels import kernel_stats
 from ..storage.catalog import Catalog
 from .backends import ExecutionBackend, make_backend
 from .metrics import ServerMetrics
@@ -262,4 +263,8 @@ class QueryServer:
         out["cache_ttl_seconds"] = self.cache.ttl_seconds
         for name, value in self.cache.stats.as_dict().items():
             out[f"cache_{name}"] = value
+        # Process-global kernel/columnar telemetry — taken once from the
+        # shared caches, NOT summed per session (sessions all read the
+        # same process-wide counters; summing would multiply them).
+        out.update(kernel_stats())
         return out

@@ -35,6 +35,7 @@ from typing import Any, Optional, Union as TUnion
 
 from ..engine.context import ExecutionContext
 from ..engine.executor import BatchedExecutor
+from ..engine.kernels import attach_plan_kernels, kernel_stats
 from ..logical.algebra import LogicalExpr, referenced_tables
 from ..logical.builder import Query
 from ..logical.fingerprint import logical_fingerprint
@@ -255,6 +256,12 @@ class QuerySession:
                 # existed and lost on cost — interior sorts over
                 # unshardable shapes (join inputs etc.) are not decisions.
                 self.metrics.post_union_sort_plans += 1
+        # Compile the plan's hot expressions once, here at prepare time:
+        # cached-plan re-executions (and repeated executes of this
+        # PreparedQuery) lower straight from the attached bundles with
+        # zero recompilation.  Parameterized nodes stay bundle-free and
+        # compile at bind/execute time, exactly as before.
+        plan = attach_plan_kernels(plan)
         self.cache.put(fp, plan, version)
         return PreparedQuery(self, plan, fp, required, from_cache=False,
                              tables=tables, parallelism=parallelism)
@@ -311,4 +318,8 @@ class QuerySession:
         }
         for name, value in self.cache.stats.as_dict().items():
             out[f"cache_{name}"] = value
+        # Kernel/columnar counters are process-global (the kernel cache
+        # and batch telemetry are shared across sessions), surfaced here
+        # so one serving process's /metrics shows compilation behaviour.
+        out.update(kernel_stats())
         return out

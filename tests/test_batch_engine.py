@@ -47,7 +47,9 @@ class TestRowBatch:
 
     def test_columnar_accessors(self):
         batch = RowBatch([(1, 2, 3), (4, 5, 6)])
-        assert batch.column(1) == [2, 5]
+        assert list(batch.column(1)) == [2, 5]
+        # Zero-copy contract: the same cached column object comes back.
+        assert batch.column(1) is batch.column(1)
         assert batch.take([2, 0]) == [(3, 1), (6, 4)]
         assert batch.filter(lambda r: r[0] > 1).rows == [(4, 5, 6)]
 

@@ -1,0 +1,232 @@
+"""Batch kernels: NULL propagation, short-circuit parity, the kernel
+cache, per-plan bundles, and the zero-recompilation serving contract."""
+
+import pickle
+
+import pytest
+
+from repro.core.sort_order import SortOrder
+from repro.engine import (
+    KERNELS,
+    ExecutionContext,
+    OperatorKernels,
+    RowBatch,
+    attach_plan_kernels,
+    kernel_stats,
+    strip_plan,
+)
+from repro.expr import And, Const, Or, UnboundParamError, col, param
+from repro.expr.aggregates import AggSpec
+from repro.logical import Query
+from repro.service import QuerySession
+from repro.storage import Catalog, Schema, SystemParameters
+
+SCHEMA = Schema.of(("a", "int", 8), ("b", "int", 8), ("c", "int", 8))
+
+
+def batch_eval(expr, rows):
+    """Evaluate *expr* over *rows* via the whole-column kernel."""
+    return list(expr.compile_batch(SCHEMA)(RowBatch(rows)))
+
+
+def row_eval(expr, rows):
+    """Reference: the per-row compiled closure, row by row."""
+    fn = expr.compile(SCHEMA)
+    return [fn(r) for r in rows]
+
+
+NULLY_ROWS = [
+    (1, 2, 3),
+    (None, 2, 3),
+    (1, None, 3),
+    (None, None, None),
+    (0, 0, 0),
+    (-5, 7, None),
+]
+
+EXPRESSIONS = [
+    col("a"),
+    Const(42),
+    Const(None),
+    col("a") + col("b"),
+    col("a") + Const(3),
+    Const(3) * col("b"),
+    col("a") - Const(None),
+    col("a").lt(col("b")),
+    col("a").ge(Const(2)),
+    Const(2).lt(col("b")),
+    col("a").eq(Const(None)),
+    And(col("a").lt(2), col("b").ge(0)),
+    Or(col("a").lt(2), col("b").ge(7)),
+    Or(And(col("a").lt(2), col("b").ge(0)), col("c").eq(3)),
+    col("a").eq(col("a")),
+]
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("expr", EXPRESSIONS, ids=str)
+    def test_matches_row_compile_under_nulls(self, expr):
+        assert batch_eval(expr, NULLY_ROWS) == row_eval(expr, NULLY_ROWS)
+
+    @pytest.mark.parametrize("expr", EXPRESSIONS, ids=str)
+    def test_empty_and_singleton_batches(self, expr):
+        assert batch_eval(expr, []) == []
+        for row in NULLY_ROWS:
+            assert batch_eval(expr, [row]) == row_eval(expr, [row])
+
+    def test_conjunction_short_circuit_matches_eager(self):
+        # All-False first conjunct: the selection vector empties out and
+        # later conjuncts never run — the verdicts must still line up.
+        expr = And(col("a").lt(-100), col("b").ge(0))
+        assert batch_eval(expr, NULLY_ROWS) == row_eval(expr, NULLY_ROWS)
+        # All-True first disjunct: dual case for Or.
+        expr = Or(col("a").eq(col("a")), col("b").lt(0))
+        assert batch_eval(expr, NULLY_ROWS) == row_eval(expr, NULLY_ROWS)
+
+    def test_columnar_batch_input(self):
+        cols = [tuple(r[i] for r in NULLY_ROWS) for i in range(3)]
+        batch = RowBatch.from_columns(cols, len(NULLY_ROWS))
+        expr = (col("a") + col("b")).lt(5)
+        assert list(expr.compile_batch(SCHEMA)(batch)) == \
+            row_eval(expr, NULLY_ROWS)
+
+    def test_unbound_param_raises(self):
+        with pytest.raises(UnboundParamError):
+            col("a").lt(param("x")).compile_batch(SCHEMA)
+        with pytest.raises(ValueError):  # seed-era contract: a ValueError
+            col("a").lt(param("x")).compile(SCHEMA)
+
+
+class TestKernelCache:
+    def test_hits_and_compiles_are_counted(self):
+        expr = col("a") + col("b") + Const(17)  # unlikely to collide
+        KERNELS.clear()
+        before = kernel_stats()
+        first = KERNELS.batch_fn(expr, SCHEMA)
+        second = KERNELS.batch_fn(expr, SCHEMA)
+        after = kernel_stats()
+        assert first is second
+        assert after["kernels_compiled"] == before["kernels_compiled"] + 1
+        assert after["kernel_cache_hits"] == before["kernel_cache_hits"] + 1
+
+    def test_schema_is_part_of_the_key(self):
+        other = Schema.of(("b", "int", 8), ("a", "int", 8))
+        KERNELS.clear()
+        fn1 = KERNELS.row_fn(col("a"), SCHEMA)
+        fn2 = KERNELS.row_fn(col("a"), other)
+        assert fn1((10, 20, 30)) == 10
+        assert fn2((10, 20)) == 20
+
+    def test_unhashable_expression_compiles_uncached(self):
+        expr = col("a").eq(Const([1, 2]))  # list payload: unhashable
+        fn = KERNELS.row_fn(expr, SCHEMA)
+        assert fn(([1, 2], 0, 0)) is True
+
+
+def _catalog():
+    cat = Catalog(SystemParameters())
+    schema = Schema.of(("k", "int", 8), ("v", "int", 8))
+    rows = [(i % 7, i % 11) for i in range(300)]
+    cat.create_table("t", schema, rows=rows,
+                     clustering_order=SortOrder(["k"]))
+    return cat
+
+
+def _query():
+    return (Query.table("t").where(col("v").lt(9))
+            .compute(w=col("v") + 1)
+            .group_by(["k"], AggSpec("sum", col("w"), "s"))
+            .order_by("k"))
+
+
+class TestPlanBundles:
+    def test_attach_marks_expression_nodes(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        plan = session.prepare(_query()).plan
+        kinds = {p.op: p.arg("kernels") for p in plan.walk()
+                 if p.op in ("Filter", "Compute", "SortAggregate",
+                             "HashAggregate")}
+        assert kinds, "query should lower to expression-bearing nodes"
+        for op, bundle in kinds.items():
+            assert isinstance(bundle, OperatorKernels), op
+
+    def test_bundles_do_not_leak_into_explain(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        prepared = session.prepare(_query())
+        assert "kernels" not in prepared.explain().lower()
+        assert "OperatorKernels" not in prepared.explain()
+
+    def test_parameterized_nodes_stay_bundle_free(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        q = Query.table("t").where(col("v").lt(param("cut"))).order_by("k", "v")
+        prepared = session.prepare(q)
+        for node in prepared.plan.walk():
+            if node.op == "Filter":
+                assert node.arg("kernels") is None
+        # Binding compiles at execute time, same answer as a literal.
+        expected = session.execute(
+            Query.table("t").where(col("v").lt(5)).order_by("k", "v"))
+        assert prepared.execute(cut=5) == expected
+
+    def test_bundle_refuses_pickling_and_strip_drops_it(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        plan = session.prepare(_query()).plan
+        with pytest.raises(TypeError):
+            pickle.dumps(plan)
+        stripped = strip_plan(plan)
+        assert all(p.arg("kernels") is None for p in stripped.walk())
+        pickle.dumps(stripped)  # must not raise
+        # The stripped plan still executes (kernels recompile on lowering).
+        ctx = ExecutionContext(cat)
+        assert stripped.execute(cat, ctx) == plan.execute(cat)
+
+    def test_attach_is_idempotent_and_memoized(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        plan = session.prepare(_query()).plan
+        assert attach_plan_kernels(plan) is plan
+
+
+class TestZeroRecompilationServing:
+    def test_cached_plan_reexecution_compiles_nothing(self):
+        """The acceptance pin: prepare once, then every further execute
+        of the cached plan performs zero expression compilations."""
+        cat = _catalog()
+        session = QuerySession(cat)
+        query = _query()
+        first = session.execute(query)  # prepare + attach + execute
+        baseline = kernel_stats()["kernels_compiled"]
+        for _ in range(3):
+            assert session.execute(query) == first
+        prepared = session.prepare(query)
+        assert prepared.from_cache
+        assert prepared.execute() == first
+        assert kernel_stats()["kernels_compiled"] == baseline
+
+    def test_columnar_batches_counter_moves(self):
+        cat = _catalog()
+        session = QuerySession(cat)
+        before = kernel_stats()["columnar_batches"]
+        session.execute(_query())
+        assert kernel_stats()["columnar_batches"] > before
+
+    def test_session_and_server_stats_expose_kernel_counters(self):
+        from repro.service import QueryServer
+
+        cat = _catalog()
+        session = QuerySession(cat)
+        session.execute(_query())
+        stats = session.stats()
+        for key in ("kernels_compiled", "kernel_cache_hits",
+                    "columnar_batches"):
+            assert key in stats and stats[key] >= 0
+        with QueryServer(cat) as server:
+            server.execute(_query())
+            sstats = server.stats()
+        for key in ("kernels_compiled", "kernel_cache_hits",
+                    "columnar_batches"):
+            assert key in sstats and sstats[key] >= 0

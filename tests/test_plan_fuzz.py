@@ -12,7 +12,10 @@ are **bit-identical** across every execution configuration:
 * threads on/off (thread-pool exchange drains);
 * row-at-a-time vs batch-vectorized driving;
 * order-checked execution (``check_orders=True``), so every operator's
-  declared sort order is verified at run time.
+  declared sort order is verified at run time;
+* columnar kernels on vs off (``ExecutionContext(columnar=False)`` is
+  the row-tuple batched engine), including a tally comparison: the
+  evaluation layout must not change any simulated cost counter.
 
 Every generated query ends with ``ORDER BY *all output columns*``, which
 totally orders the output up to fully-duplicate rows — interchangeable
@@ -177,7 +180,26 @@ def execution_mismatches(catalog: Catalog, query) -> list[str]:
     plan = session.prepare(query, parallelism=4).plan
     row_ctx = ExecutionContext(catalog, batch_size=1)
     results["p4/rows"] = list(plan.to_operator(catalog).execute(row_ctx))
-    return [name for name, rows in results.items() if rows != reference]
+    # Columnar-vs-row parity: the same plans driven with whole-column
+    # kernels disabled (columnar=False reproduces the row-tuple batched
+    # engine) must return the same rows...
+    for parallelism in (1, 4):
+        for batch_size in (1, 64, None):
+            engine_ctx = ExecutionContext(catalog, batch_size=batch_size,
+                                          columnar=False)
+            name = f"p{parallelism}/b{batch_size or 'def'}/rowengine"
+            results[name] = session.execute(query, parallelism=parallelism,
+                                            ctx=engine_ctx)
+    bad = [name for name, rows in results.items() if rows != reference]
+    # ...and bit-identical simulated costs: I/O blocks, comparison
+    # counts and sort metrics may not depend on the evaluation layout.
+    columnar_ctx = ExecutionContext(catalog)
+    rowwise_ctx = ExecutionContext(catalog, columnar=False)
+    session.execute(query, ctx=columnar_ctx)
+    session.execute(query, ctx=rowwise_ctx)
+    if columnar_ctx.tallies() != rowwise_ctx.tallies():
+        bad.append("tallies/columnar-vs-row")
+    return bad
 
 
 def shrink_failure(catalog: Catalog, query) -> str:
@@ -312,6 +334,23 @@ def test_enumerator_parity_on_join_regions(enumerator):
     assert rewrites >= 10, (
         f"{enumerator} only rewrote {rewrites}/40 join-region queries — "
         f"the parity run is not exercising the reordering path")
+
+
+def test_process_backend_columnar_parity():
+    """Prepared plans now carry unpicklable kernel bundles; the process
+    backend must strip them (``strip_plan``), let workers recompile
+    through their own kernel caches, and still return bit-identical rows
+    to the in-process columnar engine."""
+    from repro.service import QueryServer
+
+    for seed in range(BASE_SEED + 100, BASE_SEED + 106):
+        rng = random.Random(seed)
+        catalog = random_catalog(rng)
+        query = random_query(rng, catalog)
+        reference = QuerySession(catalog).execute(query)
+        with QueryServer(catalog, backend="process", parallelism=4,
+                         max_inflight=2, pool_workers=2) as server:
+            assert server.execute(query).rows == reference, f"seed {seed}"
 
 
 def test_fuzz_exercises_new_machinery():
