@@ -13,7 +13,12 @@ executing queries; this one shows the tier above it — a
   all of them;
 * the **process-pool backend** ships the per-shard subplans the
   optimizer placed under a MergeExchange to worker processes — the one
-  execution mode where the sharded enforcers use multiple cores.
+  execution mode where the sharded enforcers use multiple cores — and
+  streams each shard's rows back batch-at-a-time, so the serving-side
+  merge starts before the slowest shard finishes;
+* when the server sheds load it answers with a ``retry_after`` hint,
+  and :class:`RetryingClient` honours it — jittered backoff instead of
+  a resubmit storm.
 
 Run:  python examples/server_quickstart.py
 """
@@ -26,7 +31,7 @@ from repro.core.sort_order import SortOrder
 from repro.expr import col, param
 from repro.expr.aggregates import agg_sum, count_star
 from repro.logical import Query
-from repro.service import QueryServer
+from repro.service import QueryServer, RetryingClient, RetryPolicy
 from repro.storage import Catalog, Schema, SystemParameters
 
 
@@ -85,15 +90,38 @@ def main() -> None:
             t.join()
         print("3 thread clients served the full sorted report")
 
+        # A cooperative client: same queries, but admission rejections
+        # and timeouts are retried with jittered backoff honouring the
+        # server's retry_after hints, under a shared rate limit.
+        client = RetryingClient(
+            server,
+            RetryPolicy(max_attempts=8, base_delay=0.02, max_delay=0.5,
+                        rate_limit=200.0, burst=4),
+            tenant="quickstart")
+
+        async def cooperative(i: int) -> int:
+            result = await client.submit(by_symbol, min_qty=50 + i % 3)
+            return len(result.rows)
+
+        async def cooperative_fan_out() -> list[int]:
+            return await asyncio.gather(
+                *[cooperative(i) for i in range(12)])
+
+        asyncio.run(cooperative_fan_out())
+        print(f"RetryingClient round trip: {client.stats()}")
+
         print("\nServer stats():")
         stats = server.stats()
         for key in ("submitted", "completed", "rejected_queue_full",
-                    "timeouts", "cache_hits", "cache_misses", "sessions",
-                    "shard_merge_plans", "latency_p50_ms", "latency_p95_ms",
-                    "worker_utilization"):
+                    "rejected_quota", "rejected_circuit", "timeouts",
+                    "circuit_state", "streamed_queries", "streamed_chunks",
+                    "subplan_cache_hits", "cache_hits", "cache_misses",
+                    "sessions", "shard_merge_plans", "latency_p50_ms",
+                    "latency_p95_ms", "worker_utilization"):
             value = stats[key]
             shown = f"{value:.3f}" if isinstance(value, float) else value
             print(f"  {key} = {shown}")
+        print("  tenants =", sorted(stats["tenants"]))
 
 
 if __name__ == "__main__":

@@ -16,9 +16,22 @@ from .backends import (
     ThreadBackend,
     make_backend,
 )
-from .metrics import LatencyTracker, ServerMetrics
+from .client import (
+    RetriesExhausted,
+    RetryingClient,
+    RetryPolicy,
+    TokenBucket,
+    is_transient,
+)
+from .metrics import CircuitBreaker, LatencyTracker, ServerMetrics
 from .plan_cache import CacheStats, PlanCache, SharedPlanCache
-from .server import QueryRejected, QueryResult, QueryServer, QueryTimeout
+from .server import (
+    CircuitOpen,
+    QueryRejected,
+    QueryResult,
+    QueryServer,
+    QueryTimeout,
+)
 from .session import (
     PreparedQuery,
     QuerySession,
@@ -30,6 +43,8 @@ from .session import (
 
 __all__ = [
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ExecutionBackend",
     "LatencyTracker",
     "PlanCache",
@@ -40,13 +55,18 @@ __all__ = [
     "QueryServer",
     "QuerySession",
     "QueryTimeout",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "RetryingClient",
     "SerialBackend",
     "ServerMetrics",
     "SessionMetrics",
     "SharedPlanCache",
     "ThreadBackend",
+    "TokenBucket",
     "bind_expression",
     "bind_plan",
+    "is_transient",
     "make_backend",
     "plan_params",
 ]

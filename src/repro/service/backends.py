@@ -20,6 +20,15 @@ Every backend returns rows **bit-identical** to serial execution: shard
 pipelines are cut only at exchange boundaries, workers run the exact
 per-shard plans, and the serving-side gather performs the same stable
 merge (ties to the lowest shard index) the local exchange would.
+
+The process backend additionally supports **streaming transfer**
+(default on): sharded tasks ship their rows back chunk by chunk on a
+shared results queue instead of one whole-row-list pickle per future, so
+the serving-side merge starts on the fastest shard's first chunk while
+the slowest shard is still sorting, and unpickling overlaps with worker
+execution.  Workers keep a warm LRU of lowered subplans keyed by task
+fingerprint, so the plan-cache steady state (the same physical plan
+served repeatedly) skips lowering on warm workers.
 """
 
 from __future__ import annotations
@@ -27,14 +36,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
 from typing import Optional
 
 from ..engine.context import ExecutionContext
 from ..engine.executor import BatchedExecutor
 from ..engine.subplan import (
+    ShardStream,
     assemble,
+    assemble_streams,
     execute_subplan,
+    execute_subplan_stream,
     init_worker,
     shard_subplans,
 )
@@ -63,7 +75,7 @@ class ExecutionBackend:
         """Release pools/processes; idempotent."""
 
     def describe(self) -> dict:
-        """Static configuration for ``QueryServer.stats()``."""
+        """Configuration and counters for ``QueryServer.stats()``."""
         return {"backend": self.name}
 
 
@@ -95,6 +107,93 @@ class ThreadBackend(SerialBackend):
         super().__init__(use_threads=True)
 
 
+class _StreamRouter:
+    """Owns one pool's shared results queue and fans chunks out to the
+    per-shard :class:`ShardStream` buffers.
+
+    One daemon thread per pool generation: items are ``(stream_id, seq,
+    payload)`` tuples (see
+    :func:`~repro.engine.subplan.execute_subplan_stream`); unknown
+    stream ids — chunks from an attempt that was cancelled or failed —
+    are dropped on the floor.  A queue-level failure (e.g. a worker
+    killed mid-pickle corrupting the pipe) fails every registered stream
+    so no consumer blocks forever.
+    """
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+        self._streams: dict[int, ShardStream] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="shard-stream-router")
+        self._thread.start()
+
+    def register(self) -> ShardStream:
+        with self._lock:
+            stream = ShardStream(self._next_id)
+            self._streams[stream.stream_id] = stream
+            self._next_id += 1
+            return stream
+
+    def unregister(self, stream_id: int) -> None:
+        with self._lock:
+            self._streams.pop(stream_id, None)
+
+    def _run(self) -> None:
+        while True:
+            try:
+                item = self.queue.get()
+            except (EOFError, OSError, ValueError) as exc:
+                self._fail_all(exc)
+                return
+            if item is None:  # stop sentinel from stop()
+                self._fail_all(RuntimeError("stream router stopped"))
+                return
+            stream_id, seq, payload = item
+            with self._lock:
+                stream = self._streams.get(stream_id)
+            if stream is None:
+                continue  # stale chunk from a cancelled/failed attempt
+            if seq == -1:
+                stream.finish(payload)
+                self.unregister(stream_id)
+            else:
+                stream.put(payload)
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._lock:
+            streams, self._streams = list(self._streams.values()), {}
+        for stream in streams:
+            stream.fail(exc)
+
+    def stop(self) -> None:
+        """Post the stop sentinel (drained FIFO, so items already queued
+        are still routed first) and join the router thread."""
+        try:
+            self.queue.put(None)
+        except (OSError, ValueError):  # queue already torn down
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class _PoolHandle:
+    """One pool generation: executor + results queue + router + the
+    catalog version it was built against.  Handles are immutable and
+    swapped atomically under the backend lock, so a dispatch thread
+    holding an old generation keeps a consistent (pool, queue, router)
+    triple even while a refresh installs the next one."""
+
+    __slots__ = ("pool", "queue", "router", "version")
+
+    def __init__(self, pool: ProcessPoolExecutor, queue, router: _StreamRouter,
+                 version) -> None:
+        self.pool = pool
+        self.queue = queue
+        self.router = router
+        self.version = version
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Multi-core execution over a pool of worker processes.
 
@@ -117,22 +216,45 @@ class ProcessPoolBackend(ExecutionBackend):
     — happens mid-traffic and therefore switches to ``spawn``, which
     never inherits another thread's held locks.  :meth:`stale` reports
     whether the catalog version moved since the pool was built.
+
+    Rebuilds are **swap-under-lock**: the replacement pool is built and
+    warmed first, the handle pointer is swapped atomically, and the old
+    generation retires in the background once its in-flight work drains
+    — a dispatch thread mid-submit on the old pool either finishes
+    normally or observes a clean "cannot schedule new futures after
+    shutdown" and retries on the new generation.  A broken pool's
+    outstanding futures are cancelled *before* the rebuild so no
+    dispatch thread waits on a future the dead pool will never complete.
     """
 
     name = "process"
 
+    #: Transparent retries per query: once for a broken pool (rebuild),
+    #: plus once more if the pool is swapped beneath a submit.
+    MAX_RETRIES = 2
+
     def __init__(self, catalog: Catalog, workers: Optional[int] = None,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 streaming: bool = True, chunk_rows: int = 2048) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
         self.catalog = catalog
         self.workers = workers or os.cpu_count() or 1
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else None
         self._mp_context = mp_context
+        self.streaming = streaming
+        self.chunk_rows = chunk_rows
         self._lock = threading.Lock()
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_version: Optional[int] = None
+        self._handle: Optional[_PoolHandle] = None
         self._forked_once = False
+        # Telemetry (under self._lock).
+        self._rebuilds = 0
+        self._streamed_chunks = 0
+        self._streamed_queries = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._ensure_pool()
 
     # -- pool lifecycle ---------------------------------------------------------------
@@ -145,66 +267,147 @@ class ProcessPoolBackend(ExecutionBackend):
             method = "spawn"
         return multiprocessing.get_context(method) if method else None
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _build_handle(self) -> _PoolHandle:
+        """Build and warm a complete pool generation (no locks held —
+        spawning workers is slow and must not block dispatch threads
+        running on the current generation)."""
+        payload = catalog_payload(self.catalog)
+        context = self._build_context()
+        queue = (context or multiprocessing).Queue()
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context,
+            initializer=init_worker, initargs=(payload, queue))
+        try:
+            # Touch every worker now, not at first traffic.
+            list(pool.map(_noop, range(self.workers)))
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        router = _StreamRouter(queue)
+        if self._mp_context == "fork":
+            self._forked_once = True
+        return _PoolHandle(pool, queue, router, payload.version_token)
+
+    def _ensure_pool(self) -> _PoolHandle:
         with self._lock:
-            if self._pool is None:
-                payload = catalog_payload(self.catalog)
-                context = self._build_context()
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=context,
-                    initializer=init_worker, initargs=(payload,))
-                # Touch every worker now, not at first traffic.
-                list(self._pool.map(_noop, range(self.workers)))
-                self._pool_version = payload.version_token
-                if self._mp_context == "fork":
-                    self._forked_once = True
-            return self._pool
+            if self._handle is not None:
+                return self._handle
+        return self._rebuild(replacing=None)
+
+    def _rebuild(self, replacing: Optional[_PoolHandle]) -> _PoolHandle:
+        """Install a fresh pool generation, replacing *replacing*.
+
+        The expectation guard makes concurrent rebuild attempts idempotent:
+        if another thread already swapped the handle (e.g. two dispatch
+        threads both observed the same broken pool), the later builder
+        discards its own pool and adopts the winner's.
+        """
+        fresh = self._build_handle()
+        with self._lock:
+            current = self._handle
+            if current is not None and current is not replacing:
+                # Lost the race: someone already installed a new
+                # generation.  Retire ours without ever exposing it.
+                stale, winner = fresh, current
+            else:
+                self._handle = fresh
+                if replacing is not None:
+                    self._rebuilds += 1
+                stale, winner = replacing, fresh
+        if stale is not None:
+            _retire_handle_async(stale)
+        return winner
 
     def stale(self) -> bool:
         """Whether the catalog changed since the workers were built."""
-        return (self._pool_version is not None
-                and self._pool_version != self.catalog.stats_version)
+        with self._lock:
+            handle = self._handle
+        return (handle is not None
+                and handle.version != self.catalog.stats_version)
 
     def refresh(self) -> None:
-        """Rebuild the pool against the current catalog contents."""
-        self.close()
-        self._ensure_pool()
+        """Rebuild the pool against the current catalog contents.
+
+        Safe under traffic: the new generation is built and warmed
+        first, then swapped in; dispatch threads mid-flight on the old
+        generation drain there (the old pool retires in the background),
+        and a submit that races the swap retries on the new pool.
+        """
+        with self._lock:
+            current = self._handle
+        self._rebuild(replacing=current)
 
     def close(self) -> None:
         with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True, cancel_futures=True)
-                self._pool = None
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.pool.shutdown(wait=True, cancel_futures=True)
+            handle.router.stop()
 
     # -- execution -------------------------------------------------------------------
     def run_plan(self, plan, catalog: Catalog, parallelism: int = 1,
                  batch_size: Optional[int] = None,
                  check_orders: bool = False,
                  ctx: Optional[ExecutionContext] = None) -> list[tuple]:
-        pool = self._ensure_pool()
         occurrences, tasks = shard_subplans(plan)
+        attempts = 0
+        while True:
+            handle = self._ensure_pool()
+            try:
+                if self.streaming and occurrences:
+                    rows, local = self._run_streaming(
+                        handle, plan, occurrences, tasks, catalog,
+                        batch_size, check_orders)
+                else:
+                    rows, local = self._run_gathered(
+                        handle, occurrences, tasks, plan, catalog,
+                        batch_size, check_orders)
+                break
+            except BrokenExecutor:
+                # A worker died (OOM, signal).  This attempt's futures
+                # were already cancelled by the failing path; rebuild
+                # once (spawn context — see _build_context) and retry,
+                # so a transient casualty doesn't poison later queries.
+                attempts += 1
+                if attempts > self.MAX_RETRIES:
+                    raise
+                self._rebuild(replacing=handle)
+            except RuntimeError as exc:
+                # "cannot schedule new futures after shutdown": the pool
+                # was swapped beneath us by a concurrent refresh.  The
+                # new generation is already installed — just retry.
+                if "shutdown" not in str(exc).lower():
+                    raise
+                attempts += 1
+                if attempts > self.MAX_RETRIES:
+                    raise
+        if ctx is not None:
+            ctx.absorb_tallies(local.tallies())
+        return rows
+
+    def _run_gathered(self, handle: _PoolHandle, occurrences, tasks, plan,
+                      catalog: Catalog, batch_size, check_orders
+                      ) -> tuple[list[tuple], ExecutionContext]:
+        """Whole-result transfer: one future per task, each returning
+        its full row list; the gather runs after every shard lands."""
+        futures = [handle.pool.submit(execute_subplan, task, batch_size,
+                                      check_orders)
+                   for task in tasks]
         try:
-            futures = [pool.submit(execute_subplan, task, batch_size,
-                                   check_orders)
-                       for task in tasks]
             results = [future.result() for future in futures]
-        except BrokenExecutor:
-            # A worker died (OOM, signal): rebuild once (spawn context —
-            # see _build_context) and retry, so a transient casualty
-            # doesn't poison every later query.
-            self.refresh()
-            pool = self._ensure_pool()
-            futures = [pool.submit(execute_subplan, task, batch_size,
-                                   check_orders)
-                       for task in tasks]
-            results = [future.result() for future in futures]
-        ctx = ctx or ExecutionContext(catalog, batch_size=batch_size,
-                                      check_orders=check_orders)
+        except BaseException:
+            # Cancel-before-rebuild: never leave the first attempt's
+            # futures running (or queued) on a pool we may retire.
+            for future in futures:
+                future.cancel()
+            raise
+        local = ExecutionContext(catalog, batch_size=batch_size,
+                                 check_orders=check_orders)
         # Fold worker tallies in task (= shard) order: deterministic.
         for _, tallies in results:
-            ctx.absorb_tallies(tallies)
+            local.absorb_tallies(tallies)
         if not occurrences:
-            return results[0][0]
+            return results[0][0], local
         shard_rows = []
         cursor = 0
         for node in occurrences:
@@ -212,11 +415,108 @@ class ProcessPoolBackend(ExecutionBackend):
             shard_rows.append([results[cursor + j][0] for j in range(width)])
             cursor += width
         root = assemble(plan, occurrences, shard_rows, catalog)
-        return BatchedExecutor().run(root, ctx)
+        return BatchedExecutor().run(root, local), local
+
+    def _run_streaming(self, handle: _PoolHandle, plan, occurrences, tasks,
+                       catalog: Catalog, batch_size, check_orders
+                       ) -> tuple[list[tuple], ExecutionContext]:
+        """Chunked transfer: the merge consumes live shard streams.
+
+        Stream ids are unique per attempt (the router hands them out),
+        so chunks from a failed attempt still in the queue can never
+        corrupt a retry's buffers — the router drops unknown ids.
+        """
+        streams: list[ShardStream] = []
+        futures = []
+        try:
+            for task in tasks:
+                stream = handle.router.register()
+                future = handle.pool.submit(
+                    execute_subplan_stream, task, stream.stream_id,
+                    batch_size, check_orders, self.chunk_rows)
+                future.add_done_callback(_stream_failer(stream))
+                streams.append(stream)
+                futures.append(future)
+
+            shard_streams = []
+            cursor = 0
+            for node in occurrences:
+                width = len(node.children)
+                shard_streams.append(streams[cursor:cursor + width])
+                cursor += width
+            root = assemble_streams(plan, occurrences, shard_streams, catalog)
+            local = ExecutionContext(catalog, batch_size=batch_size,
+                                     check_orders=check_orders)
+            rows = BatchedExecutor().run(root, local)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            for stream in streams:
+                handle.router.unregister(stream.stream_id)
+            raise
+        # The merge consumed every stream to its DONE sentinel, so the
+        # worker tallies are in hand; fold them in task order, after the
+        # merge's own charges — the sums are commutative, so totals are
+        # identical to the gathered path's fold-then-merge order.
+        for stream in streams:
+            local.absorb_tallies(stream.tallies)
+        with self._lock:
+            self._streamed_queries += 1
+            self._streamed_chunks += sum(s.chunks_received for s in streams)
+            hits = sum(1 for s in streams if s.cache_hit)
+            self._cache_hits += hits
+            self._cache_misses += len(streams) - hits
+        return rows, local
 
     def describe(self) -> dict:
-        return {"backend": self.name, "pool_workers": self.workers,
-                "pool_stale": self.stale()}
+        with self._lock:
+            handle = self._handle
+            out = {
+                "backend": self.name,
+                "pool_workers": self.workers,
+                "streaming": self.streaming,
+                "chunk_rows": self.chunk_rows,
+                "pool_rebuilds": self._rebuilds,
+                "streamed_queries": self._streamed_queries,
+                "streamed_chunks": self._streamed_chunks,
+                "subplan_cache_hits": self._cache_hits,
+                "subplan_cache_misses": self._cache_misses,
+            }
+        out["pool_stale"] = (handle is not None
+                             and handle.version != self.catalog.stats_version)
+        return out
+
+
+def _stream_failer(stream: ShardStream):
+    """Done-callback failing *stream* when its producing task cannot
+    deliver the DONE sentinel (error or cancellation); a no-op for tasks
+    that finished cleanly (the sentinel already closed the stream)."""
+    def callback(future) -> None:
+        if future.cancelled():
+            stream.fail(CancelledError("shard task cancelled"))
+            return
+        exc = future.exception()
+        if exc is not None:
+            stream.fail(exc)
+    return callback
+
+
+def _retire_handle_async(handle: _PoolHandle) -> None:
+    """Retire an old pool generation without blocking the swapper.
+
+    In-flight futures on the old pool are allowed to drain (dispatch
+    threads may still be waiting on them); the router stops only after
+    ``shutdown(wait=True)`` returns, i.e. after every worker exited — so
+    streaming queries on the old generation route to completion first.
+    A broken pool's futures were cancelled by the failing ``run_plan``
+    before the rebuild, so retirement is prompt there too.
+    """
+    def retire() -> None:
+        handle.pool.shutdown(wait=True, cancel_futures=False)
+        handle.router.stop()
+
+    threading.Thread(target=retire, daemon=True,
+                     name="pool-retirement").start()
 
 
 def _noop(_: int) -> None:
@@ -225,7 +525,9 @@ def _noop(_: int) -> None:
 
 def make_backend(kind, catalog: Catalog,
                  pool_workers: Optional[int] = None,
-                 mp_context: Optional[str] = None) -> ExecutionBackend:
+                 mp_context: Optional[str] = None,
+                 streaming: bool = True,
+                 chunk_rows: int = 2048) -> ExecutionBackend:
     """Resolve a backend spec: an instance passes through, a name
     (``"serial"`` / ``"threads"`` / ``"process"``) is constructed."""
     if isinstance(kind, ExecutionBackend):
@@ -236,6 +538,7 @@ def make_backend(kind, catalog: Catalog,
         return ThreadBackend()
     if kind == "process":
         return ProcessPoolBackend(catalog, workers=pool_workers,
-                                  mp_context=mp_context)
+                                  mp_context=mp_context,
+                                  streaming=streaming, chunk_rows=chunk_rows)
     raise ValueError(f"unknown backend {kind!r}; "
                      "have 'serial', 'threads', 'process'")

@@ -1,0 +1,300 @@
+"""The cooperative client: retries, backoff, rate limiting.
+
+:class:`QueryServer` sheds load with typed, hinted rejections
+(:class:`~repro.service.server.QueryRejected` carrying ``retry_after``,
+:class:`~repro.service.server.CircuitOpen`, per-query
+:class:`~repro.service.server.QueryTimeout`); this module supplies the
+other half of the backpressure protocol — a client that *cooperates*
+instead of hammering:
+
+* **transient classification** — rejections and timeouts are worth
+  retrying (the server explicitly asked us to come back later); plan,
+  bind and parameter errors are not (the same query will fail the same
+  way forever);
+* **capped exponential backoff with full jitter** — attempt *n* sleeps
+  ``uniform(0, min(max_delay, base · multiplier**n))`` (full jitter, the
+  AWS-architecture-blog shape that decorrelates retry storms), raised to
+  the server's ``retry_after`` hint when one was given — the server
+  knows its queue better than our exponential does;
+* **token-bucket rate limiting** — every attempt (first try and retries
+  alike) takes one token from a shared bucket of ``burst`` capacity
+  refilled at ``rate_limit`` tokens/second, so a fleet of client threads
+  sharing one :class:`RetryingClient` cannot exceed the provisioned
+  request rate even when the server is healthy.
+
+One :class:`RetryingClient` serves both worlds — ``execute`` for plain
+threads, ``await submit`` for asyncio tasks — sharing a single
+:class:`RetryPolicy` and token bucket, so the sync and async halves of
+an application drain the same budget.
+
+The clock, RNG and sleep functions are injectable, which the tests use
+to pin backoff sequences deterministically without real sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+from .server import QueryRejected, QueryResult, QueryServer, QueryTimeout
+
+__all__ = ["RetryPolicy", "RetryingClient", "RetriesExhausted",
+           "TokenBucket", "is_transient"]
+
+
+class RetriesExhausted(RuntimeError):
+    """The retry budget ran out; ``last_error`` is the final failure."""
+
+    def __init__(self, message: str, last_error: BaseException) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+def is_transient(exc: BaseException) -> bool:
+    """The default transient-error classifier.
+
+    Admission rejections (queue full, quota, circuit open — all
+    :class:`QueryRejected`, each carrying a ``retry_after`` hint) and
+    deadline misses (:class:`QueryTimeout`) are load conditions: the
+    same query succeeds once capacity frees.  Everything else — unknown
+    tables, bad parameter bindings, optimizer errors — is deterministic
+    and retrying would only add load.
+    """
+    return isinstance(exc, (QueryRejected, QueryTimeout))
+
+
+@dataclass
+class RetryPolicy:
+    """Shared knobs for the sync and async retry loops."""
+
+    #: Total tries including the first (>= 1).
+    max_attempts: int = 6
+    #: First backoff cap in seconds; the cap doubles (``multiplier``)
+    #: per retry up to ``max_delay``.
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Steady-state attempt rate in attempts/second (None = unlimited)
+    #: and the burst the bucket may accumulate while idle.
+    rate_limit: Optional[float] = None
+    burst: int = 1
+    #: Predicate deciding which errors are worth retrying.
+    classify: Callable[[BaseException], bool] = field(default=is_transient)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+    def backoff(self, attempt: int, retry_after: Optional[float],
+                rng: random.Random) -> float:
+        """Sleep before retry number *attempt* (0-based).
+
+        Full jitter over the exponentially-growing cap, raised to the
+        server's ``retry_after`` hint (itself capped at ``max_delay`` so
+        a pathological hint cannot park the client forever).
+        """
+        cap = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        delay = rng.uniform(0.0, cap)
+        if retry_after:
+            delay = max(delay, min(retry_after, self.max_delay))
+        return delay
+
+
+class TokenBucket:
+    """Thread-safe token bucket (reservation style, monotonic clock).
+
+    ``reserve()`` debits one token and returns how long the caller must
+    wait before acting on it — 0.0 when a token was available.  Debiting
+    at reservation time (tokens may go negative) keeps concurrent
+    callers from all seeing the same "almost full" bucket and bursting
+    past the rate together.
+    """
+
+    def __init__(self, rate: float, burst: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def reserve(self) -> float:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(float(self.burst),
+                               self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            self._tokens -= 1.0
+            if self._tokens >= 0.0:
+                return 0.0
+            return -self._tokens / self.rate
+
+
+@dataclass
+class ClientMetrics:
+    """One client's cooperative-behaviour counters."""
+
+    attempts: int = 0
+    successes: int = 0
+    retries: int = 0
+    giveups: int = 0
+    permanent_failures: int = 0
+    rate_limit_waits: int = 0
+    backoff_seconds: float = 0.0
+    rate_limit_wait_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "permanent_failures": self.permanent_failures,
+            "rate_limit_waits": self.rate_limit_waits,
+            "backoff_seconds": self.backoff_seconds,
+            "rate_limit_wait_seconds": self.rate_limit_wait_seconds,
+        }
+
+
+class RetryingClient:
+    """A :class:`QueryServer` client that honours backpressure.
+
+    Sync threads call :meth:`execute`; asyncio tasks ``await``
+    :meth:`submit`.  Both run the same policy — shared token bucket,
+    shared counters — so one client object represents one logical
+    consumer however many threads and tasks it spans.
+
+    ``sleep`` / ``async_sleep`` / ``rng`` are injectable for tests.
+    """
+
+    def __init__(self, server: QueryServer,
+                 policy: Optional[RetryPolicy] = None, *,
+                 tenant: Optional[str] = None,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 async_sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+                 ) -> None:
+        self.server = server
+        self.policy = policy or RetryPolicy()
+        self.tenant = tenant
+        self.bucket = TokenBucket(self.policy.rate_limit, self.policy.burst) \
+            if self.policy.rate_limit is not None else None
+        self.metrics = ClientMetrics()
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._async_sleep = async_sleep
+        self._lock = threading.Lock()
+
+    # -- the shared per-attempt bookkeeping ----------------------------------------------
+    def _pre_attempt(self) -> float:
+        """Count the attempt; return the rate-limit wait (0 if none)."""
+        wait = self.bucket.reserve() if self.bucket is not None else 0.0
+        with self._lock:
+            self.metrics.attempts += 1
+            if wait > 0.0:
+                self.metrics.rate_limit_waits += 1
+                self.metrics.rate_limit_wait_seconds += wait
+        return wait
+
+    def _on_error(self, exc: BaseException, attempt: int) -> Optional[float]:
+        """Classify a failure; return the backoff delay, or None when
+        the loop must stop (permanent error or budget exhausted)."""
+        if not self.policy.classify(exc):
+            with self._lock:
+                self.metrics.permanent_failures += 1
+            return None
+        if attempt >= self.policy.max_attempts - 1:
+            with self._lock:
+                self.metrics.giveups += 1
+            return None
+        retry_after = getattr(exc, "retry_after", None)
+        with self._lock:
+            delay = self.policy.backoff(attempt, retry_after, self._rng)
+            self.metrics.retries += 1
+            self.metrics.backoff_seconds += delay
+        return delay
+
+    def _success(self) -> None:
+        with self._lock:
+            self.metrics.successes += 1
+
+    # -- sync ---------------------------------------------------------------------------
+    def execute(self, query, required_order=None, **kwargs: Any) -> QueryResult:
+        """Serve one query from a thread, retrying transient failures.
+
+        Accepts everything :meth:`QueryServer.execute` does (binds,
+        ``timeout=``, ``parallelism=`` …).  Raises the last error
+        unchanged when it is permanent, or :class:`RetriesExhausted`
+        when the attempt budget runs out on a transient one.
+        """
+        kwargs.setdefault("tenant", self.tenant)
+        attempt = 0
+        while True:
+            wait = self._pre_attempt()
+            if wait > 0.0:
+                self._sleep(wait)
+            try:
+                result = self.server.execute(query, required_order, **kwargs)
+            except Exception as exc:
+                delay = self._on_error(exc, attempt)
+                if delay is None:
+                    if self.policy.classify(exc):
+                        raise RetriesExhausted(
+                            f"gave up after {attempt + 1} attempts: {exc}",
+                            exc) from exc
+                    raise
+                self._sleep(delay)
+                attempt += 1
+            else:
+                self._success()
+                return result
+
+    # -- async --------------------------------------------------------------------------
+    async def submit(self, query, required_order=None,
+                     **kwargs: Any) -> QueryResult:
+        """Async twin of :meth:`execute` over :meth:`QueryServer.submit`."""
+        kwargs.setdefault("tenant", self.tenant)
+        attempt = 0
+        while True:
+            wait = self._pre_attempt()
+            if wait > 0.0:
+                await self._async_sleep(wait)
+            try:
+                result = await self.server.submit(query, required_order,
+                                                  **kwargs)
+            except Exception as exc:
+                delay = self._on_error(exc, attempt)
+                if delay is None:
+                    if self.policy.classify(exc):
+                        raise RetriesExhausted(
+                            f"gave up after {attempt + 1} attempts: {exc}",
+                            exc) from exc
+                    raise
+                await self._async_sleep(delay)
+                attempt += 1
+            else:
+                self._success()
+                return result
+
+    # -- observability ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Flat counters (attempts, retries, waits) for this client."""
+        with self._lock:
+            return self.metrics.as_dict()

@@ -1,5 +1,5 @@
 """The concurrent query server: admission control, shared plan cache,
-pluggable execution backends.
+pluggable execution backends, cooperative backpressure.
 
 :class:`QueryServer` is the process-level serving tier on top of the
 :class:`~repro.service.session.QuerySession` facade.  Many concurrent
@@ -9,8 +9,12 @@ dispatch pool:
 
 1. **Admission** — a submission is rejected immediately
    (:class:`QueryRejected`) when the wait queue already holds
-   ``queue_limit`` admitted-but-not-running queries; otherwise it queues
-   for one of ``max_inflight`` dispatch slots.
+   ``queue_limit`` admitted-but-not-running queries, when the caller's
+   tenant is over its weighted-fair share of the pool under contention
+   (``rejected_quota``), or when the execution circuit breaker is open
+   (:class:`CircuitOpen`).  Every rejection carries a computed
+   ``retry_after`` hint — the estimated seconds until capacity frees —
+   which :class:`~repro.service.client.RetryingClient` honours.
 2. **Planning** — each dispatch thread owns a private
    :class:`QuerySession` (sessions are single-threaded by design), but
    every session shares one
@@ -20,19 +24,30 @@ dispatch pool:
 3. **Execution** — the bound plan runs on the configured backend
    (:mod:`repro.service.backends`): in-process serial/threaded, or the
    **process pool**, which ships per-shard subplans to worker processes
-   and re-gathers them through the order-preserving merge — multi-core
-   parallelism the GIL denies the in-process backends.
+   and streams their results back batch-at-a-time through the
+   order-preserving merge.  Backend failures feed the
+   :class:`~repro.service.metrics.CircuitBreaker`; after
+   ``circuit_threshold`` consecutive failures the breaker opens and
+   sheds load until a half-open probe succeeds.
 4. **Deadlines** — ``timeout`` (per call or ``default_timeout``) covers
    queue wait + execution; an expired query raises
    :class:`QueryTimeout` and is counted.  A query whose slot never
    started is cancelled outright; one already running completes in the
    background (its slot is not reclaimable mid-plan) but its result is
-   discarded.
+   discarded and counted ``abandoned`` — never double-counted as
+   ``completed`` after the client's ``timeout``.
+
+Admission outcomes are **mutually exclusive** (see
+:class:`~repro.service.metrics.QueryOutcome`), so at quiescence::
+
+    submitted == completed + failed + timeouts
+               + rejected_queue_full + rejected_quota + rejected_circuit
 
 Observability: :meth:`QueryServer.stats` flattens the admission
-counters, latency quantiles (p50/p95), worker utilization, shared-cache
-counters and the aggregated per-session optimizer counters into one
-JSON-friendly dict — see :mod:`repro.service.metrics`.
+counters, per-tenant counters, circuit-breaker state, latency quantiles
+(p50/p95), worker utilization, shared-cache counters and the aggregated
+per-session optimizer counters into one JSON-friendly dict — see
+:mod:`repro.service.metrics`.
 """
 
 from __future__ import annotations
@@ -43,21 +58,49 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
 from functools import partial
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 from ..core.sort_order import SortOrder
 from ..engine.kernels import kernel_stats
 from ..storage.catalog import Catalog
 from .backends import ExecutionBackend, make_backend
-from .metrics import ServerMetrics
+from .metrics import (
+    DEFAULT_TENANT,
+    CircuitBreaker,
+    QueryOutcome,
+    ServerMetrics,
+)
 from .plan_cache import SharedPlanCache
 from .session import QuerySession, SessionMetrics
 
-__all__ = ["QueryRejected", "QueryResult", "QueryServer", "QueryTimeout"]
+__all__ = ["CircuitOpen", "QueryRejected", "QueryResult", "QueryServer",
+           "QueryTimeout"]
 
 
 class QueryRejected(RuntimeError):
-    """Admission control turned the query away (wait queue full)."""
+    """Admission control turned the query away.
+
+    ``retry_after`` is the server's cooperative backpressure hint: the
+    estimated seconds until capacity frees (queue drain time for a full
+    queue, remaining open time for a tripped circuit).  ``reason`` is
+    ``"queue_full"`` or ``"quota"`` (subclasses set their own).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0,
+                 reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class CircuitOpen(QueryRejected):
+    """The execution circuit breaker is open — the backend is presumed
+    down and the server sheds load instead of queueing onto it.  A
+    subclass of :class:`QueryRejected` so clients treating rejections as
+    retryable need no special case."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message, retry_after=retry_after, reason="circuit_open")
 
 
 class QueryTimeout(TimeoutError):
@@ -81,6 +124,12 @@ class QueryServer:
     any running event loop and :meth:`execute` called from any thread —
     both funnel into the same dispatch pool, admission counters and
     shared plan cache.
+
+    ``tenant_weights`` maps tenant name → weight for the weighted-fair
+    admission quota (unknown tenants weigh ``default_tenant_weight``);
+    ``circuit_threshold`` / ``circuit_reset_timeout`` configure the
+    execution circuit breaker (consecutive backend failures to open,
+    seconds until the half-open probe).
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -96,6 +145,10 @@ class QueryServer:
                  config: Any = None,
                  pool_workers: Optional[int] = None,
                  mp_context: Optional[str] = None,
+                 tenant_weights: Optional[Mapping[str, float]] = None,
+                 default_tenant_weight: float = 1.0,
+                 circuit_threshold: int = 5,
+                 circuit_reset_timeout: float = 1.0,
                  **overrides: Any) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -103,18 +156,27 @@ class QueryServer:
             raise ValueError("queue_limit must be >= 1")
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if default_tenant_weight <= 0:
+            raise ValueError("default_tenant_weight must be positive")
+        if tenant_weights and any(w <= 0 for w in tenant_weights.values()):
+            raise ValueError("tenant weights must be positive")
         self.catalog = catalog
         self.parallelism = parallelism
         self.batch_size = batch_size
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
         self.default_timeout = default_timeout
+        self.tenant_weights = dict(tenant_weights or {})
+        self.default_tenant_weight = default_tenant_weight
         self.backend: ExecutionBackend = make_backend(
             backend, catalog, pool_workers=pool_workers,
             mp_context=mp_context)
         self.cache: SharedPlanCache = SharedPlanCache(
             cache_capacity, ttl_seconds=cache_ttl)
         self.metrics = ServerMetrics()
+        self.breaker = CircuitBreaker(
+            failure_threshold=circuit_threshold,
+            reset_timeout=circuit_reset_timeout)
         self._strategy = strategy
         self._config = config
         self._overrides = overrides
@@ -153,101 +215,169 @@ class QueryServer:
                 self._sessions.append(session)
         return session
 
+    # -- admission helpers -------------------------------------------------------------
+    def _weight_of(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, self.default_tenant_weight)
+
+    def _retry_after(self) -> float:
+        return self.metrics.retry_after(self.max_inflight)
+
     # -- the dispatch-thread body -------------------------------------------------------
-    def _run_admitted(self, query, required_order: Optional[SortOrder],
+    def _run_admitted(self, outcome: QueryOutcome, query,
+                      required_order: Optional[SortOrder],
                       parallelism: int, batch_size: Optional[int],
                       binds: dict[str, Any],
                       deadline: Optional[float]) -> QueryResult:
-        self.metrics.start_execution()
+        self.metrics.start_execution(outcome)
         started = time.perf_counter()
-        ok = False
+        disposition = "failed"
+        breaker_recorded = False
         try:
             if deadline is not None and time.monotonic() >= deadline:
+                # Expired while queued: this is a timeout, not a backend
+                # failure — resolved here exactly once (the client's own
+                # wait path will find the outcome already claimed).
+                disposition = "timeout"
                 raise QueryTimeout("deadline expired while queued")
             session = self._session()
             prepared = session.prepare(query, required_order,
                                        parallelism=parallelism)
             plan = prepared.bind(**binds)
-            rows = self.backend.run_plan(plan, self.catalog,
-                                         parallelism=parallelism,
-                                         batch_size=batch_size)
+            try:
+                rows = self.backend.run_plan(plan, self.catalog,
+                                             parallelism=parallelism,
+                                             batch_size=batch_size)
+            except Exception:
+                # Only backend execution trips the breaker — plan and
+                # bind errors above say nothing about backend health.
+                self.breaker.record_failure()
+                breaker_recorded = True
+                raise
+            self.breaker.record_success()
+            breaker_recorded = True
             # The dispatch path executes through the backend, not
             # PreparedQuery.execute — keep the session's execution
             # counter truthful for aggregated stats().
             session.metrics.executions += 1
-            ok = True
+            disposition = "completed"
             return QueryResult(rows, prepared.from_cache,
                                time.perf_counter() - started,
                                self.backend.name)
         finally:
-            self.metrics.finish_execution(time.perf_counter() - started, ok)
+            if not breaker_recorded:
+                # The backend never saw this query (queued-deadline
+                # expiry, plan/bind error): release any half-open probe
+                # slot its admission reserved.
+                self.breaker.abort_probe()
+            self.metrics.finish_execution(time.perf_counter() - started,
+                                          disposition, outcome)
 
     def _dispatch_query(self, query, required_order, parallelism, batch_size,
-                        binds, timeout):
-        """Admission + submission; returns (cfuture, timeout)."""
+                        binds, timeout, tenant):
+        """Admission + submission; returns (cfuture, timeout, outcome)."""
         if self._closed:
             raise RuntimeError("QueryServer is closed")
+        tenant = tenant or DEFAULT_TENANT
         timeout = self.default_timeout if timeout is None else timeout
         parallelism = self.parallelism if parallelism is None else parallelism
         batch_size = self.batch_size if batch_size is None else batch_size
-        if not self.metrics.try_admit(self.queue_limit):
+        circuit_retry = self.breaker.check()
+        if circuit_retry is not None:
+            self.metrics.count_rejected_circuit(tenant)
+            raise CircuitOpen(
+                f"execution circuit open (backend failing); retry in "
+                f"{circuit_retry:.2f}s", retry_after=circuit_retry)
+        verdict, outcome = self.metrics.try_admit(
+            self.queue_limit, tenant=tenant,
+            capacity=self.max_inflight + self.queue_limit,
+            weight_of=self._weight_of)
+        if verdict != "admitted":
+            # Release the half-open probe slot check() may have reserved
+            # — this submission never reaches the backend.
+            self.breaker.abort_probe()
+            if verdict == "queue_full":
+                raise QueryRejected(
+                    f"admission queue full ({self.queue_limit} waiting)",
+                    retry_after=self._retry_after(), reason="queue_full")
             raise QueryRejected(
-                f"admission queue full ({self.queue_limit} waiting)")
+                f"tenant {tenant!r} over its fair-share admission quota",
+                retry_after=self._retry_after(), reason="quota")
         deadline = None if timeout is None else time.monotonic() + timeout
-        future = self._dispatch.submit(
-            partial(self._run_admitted, query, required_order, parallelism,
-                    batch_size, binds, deadline))
+        try:
+            future = self._dispatch.submit(
+                partial(self._run_admitted, outcome, query, required_order,
+                        parallelism, batch_size, binds, deadline))
+        except BaseException:
+            # The dispatch pool refused the submission (shutdown race
+            # past the _closed check): release the admission slot this
+            # query holds, or `queued` inflates forever.
+            self.metrics.abandon_queued(outcome)
+            self.breaker.abort_probe()
+            raise
         # A submission cancelled before its slot started never reaches
-        # _run_admitted; reclaim its queue slot here.
-        future.add_done_callback(
-            lambda f: self.metrics.unqueue() if f.cancelled() else None)
-        return future, timeout
+        # _run_admitted; reclaim its queue slot (and any reserved probe)
+        # here — the client wait path claims the outcome as its timeout.
+        def _reclaim_cancelled(f) -> None:
+            if f.cancelled():
+                self.metrics.unqueue(outcome)
+                self.breaker.abort_probe()
+        future.add_done_callback(_reclaim_cancelled)
+        return future, timeout, outcome
 
     # -- client APIs ------------------------------------------------------------------
     async def submit(self, query, required_order: Optional[SortOrder] = None,
                      *, parallelism: Optional[int] = None,
                      batch_size: Optional[int] = None,
                      timeout: Optional[float] = None,
+                     tenant: Optional[str] = None,
                      **binds: Any) -> QueryResult:
         """Serve one query from an asyncio client.
 
         Raises :class:`QueryRejected` immediately when the wait queue is
-        full, :class:`QueryTimeout` when the deadline passes first.
+        full (or the tenant is over quota, or the circuit is open —
+        each with a ``retry_after`` hint), :class:`QueryTimeout` when
+        the deadline passes first.
         """
-        future, timeout = self._dispatch_query(
-            query, required_order, parallelism, batch_size, binds, timeout)
+        future, timeout, outcome = self._dispatch_query(
+            query, required_order, parallelism, batch_size, binds, timeout,
+            tenant)
         wrapped = asyncio.wrap_future(future)
         try:
             if timeout is None:
                 return await wrapped
             return await asyncio.wait_for(wrapped, timeout)
         except (TimeoutError, QueryTimeout) as exc:
-            self.metrics.count_timeout()
+            self.metrics.count_timeout(outcome)
             raise QueryTimeout(str(exc) or "query deadline expired") from None
 
     def execute(self, query, required_order: Optional[SortOrder] = None,
                 *, parallelism: Optional[int] = None,
                 batch_size: Optional[int] = None,
-                timeout: Optional[float] = None, **binds: Any) -> QueryResult:
+                timeout: Optional[float] = None,
+                tenant: Optional[str] = None, **binds: Any) -> QueryResult:
         """Serve one query from a plain (non-async) thread client."""
-        future, timeout = self._dispatch_query(
-            query, required_order, parallelism, batch_size, binds, timeout)
+        future, timeout, outcome = self._dispatch_query(
+            query, required_order, parallelism, batch_size, binds, timeout,
+            tenant)
         try:
             return future.result(timeout)
         except (TimeoutError, QueryTimeout) as exc:
             future.cancel()
-            self.metrics.count_timeout()
+            self.metrics.count_timeout(outcome)
             raise QueryTimeout(str(exc) or "query deadline expired") from None
 
     # -- observability -----------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """Flat serving metrics: admission, latency, utilization, shared
-        cache, aggregated session/optimizer counters, backend config."""
+        cache, per-tenant counters, circuit-breaker state, aggregated
+        session/optimizer counters, backend config."""
         out: dict[str, Any] = dict(self.metrics.as_dict(self.max_inflight))
+        out.update(self.breaker.as_dict())
         out.update(self.backend.describe())
         out["max_inflight_limit"] = self.max_inflight
         out["queue_limit"] = self.queue_limit
         out["parallelism"] = self.parallelism
+        out["tenants"] = self.metrics.tenants_dict()
         with self._sessions_lock:
             sessions = list(self._sessions)
         out["sessions"] = len(sessions)

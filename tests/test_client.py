@@ -1,0 +1,287 @@
+"""The cooperative client: transient classification, jittered backoff,
+token-bucket rate limiting, the sync and async retry loops, and a real
+round trip through an overloaded :class:`QueryServer`."""
+
+import asyncio
+import random
+import threading
+import time
+
+import pytest
+
+from repro.logical import Query
+from repro.service import (
+    CircuitOpen,
+    QueryRejected,
+    QueryResult,
+    QueryServer,
+    QueryTimeout,
+    RetriesExhausted,
+    RetryingClient,
+    RetryPolicy,
+    TokenBucket,
+    is_transient,
+)
+
+from tests.test_server import _BlockingBackend, serving_catalog
+
+
+def _ok(rows=(("ok",),)):
+    return QueryResult(rows=list(rows), from_cache=False,
+                       latency_seconds=0.0, backend="scripted")
+
+
+class _ScriptedServer:
+    """Stands in for QueryServer: pops one scripted outcome per call
+    (an exception instance to raise, or a QueryResult to return)."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def _next(self, query, required_order, kwargs):
+        self.calls.append((query, required_order, dict(kwargs)))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def execute(self, query, required_order=None, **kwargs):
+        return self._next(query, required_order, kwargs)
+
+    async def submit(self, query, required_order=None, **kwargs):
+        return self._next(query, required_order, kwargs)
+
+
+class _FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestClassification:
+    def test_rejections_and_timeouts_are_transient(self):
+        assert is_transient(QueryRejected("full", retry_after=0.2,
+                                          reason="queue_full"))
+        assert is_transient(CircuitOpen("open", retry_after=0.5))
+        assert is_transient(QueryTimeout("deadline"))
+
+    def test_plan_errors_are_permanent(self):
+        assert not is_transient(KeyError("no such table"))
+        assert not is_transient(ValueError("unbound parameter"))
+        assert not is_transient(RuntimeError("backend failure"))
+
+
+class TestRetryPolicy:
+    def test_backoff_full_jitter_within_growing_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, multiplier=2.0)
+        rng = random.Random(42)
+        for attempt in range(8):
+            cap = min(1.0, 0.1 * 2.0 ** attempt)
+            for _ in range(50):
+                delay = policy.backoff(attempt, None, rng)
+                assert 0.0 <= delay <= cap
+
+    def test_backoff_honours_retry_after_as_floor(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=1.0)
+        rng = random.Random(0)
+        assert all(policy.backoff(0, 0.5, rng) >= 0.5 for _ in range(20))
+
+    def test_backoff_caps_pathological_retry_after(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.25)
+        assert policy.backoff(0, 3600.0, random.Random(0)) <= 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(rate_limit=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(burst=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_paced(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.reserve() == 0.0
+        assert bucket.reserve() == 0.0
+        # Bucket empty: the third caller waits one token period …
+        assert bucket.reserve() == pytest.approx(0.5)
+        # … and the debt compounds for the fourth (reservation style).
+        assert bucket.reserve() == pytest.approx(1.0)
+
+    def test_refill_capped_at_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        bucket.reserve(), bucket.reserve()
+        clock.now += 100.0  # long idle never accumulates beyond burst
+        assert bucket.reserve() == 0.0
+        assert bucket.reserve() == 0.0
+        assert bucket.reserve() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestSyncRetryLoop:
+    def test_retries_transient_then_succeeds(self):
+        server = _ScriptedServer([
+            QueryRejected("full", retry_after=0.2, reason="queue_full"),
+            QueryTimeout("deadline"),
+            _ok(),
+        ])
+        sleeps = []
+        client = RetryingClient(server, RetryPolicy(base_delay=0.05,
+                                                    max_delay=1.0),
+                                rng=random.Random(7), sleep=sleeps.append)
+        result = client.execute(Query.table("t"))
+        assert result.rows == [("ok",)]
+        # First retry honoured the 0.2s retry_after floor.
+        assert len(sleeps) == 2 and sleeps[0] >= 0.2
+        stats = client.stats()
+        assert stats["attempts"] == 3
+        assert stats["retries"] == 2
+        assert stats["successes"] == 1
+        assert stats["backoff_seconds"] == pytest.approx(sum(sleeps))
+
+    def test_permanent_error_reraised_unchanged_no_retry(self):
+        boom = KeyError("no such table")
+        server = _ScriptedServer([boom])
+        sleeps = []
+        client = RetryingClient(server, sleep=sleeps.append)
+        with pytest.raises(KeyError) as exc_info:
+            client.execute(Query.table("missing"))
+        assert exc_info.value is boom
+        assert sleeps == []
+        assert client.stats()["permanent_failures"] == 1
+        assert len(server.calls) == 1
+
+    def test_exhaustion_raises_retries_exhausted_with_last_error(self):
+        last = QueryRejected("still full", retry_after=0.1,
+                             reason="queue_full")
+        server = _ScriptedServer([
+            QueryRejected("full", retry_after=0.1, reason="queue_full"),
+            QueryRejected("full", retry_after=0.1, reason="queue_full"),
+            last,
+        ])
+        client = RetryingClient(server, RetryPolicy(max_attempts=3),
+                                sleep=lambda _: None)
+        with pytest.raises(RetriesExhausted) as exc_info:
+            client.execute(Query.table("t"))
+        assert exc_info.value.last_error is last
+        stats = client.stats()
+        assert stats["attempts"] == 3
+        assert stats["giveups"] == 1
+        assert stats["successes"] == 0
+
+    def test_tenant_default_applied_but_overridable(self):
+        server = _ScriptedServer([_ok(), _ok()])
+        client = RetryingClient(server, tenant="alice")
+        client.execute(Query.table("t"))
+        client.execute(Query.table("t"), tenant="bob")
+        assert server.calls[0][2]["tenant"] == "alice"
+        assert server.calls[1][2]["tenant"] == "bob"
+
+    def test_rate_limit_paces_attempts(self):
+        server = _ScriptedServer([_ok() for _ in range(3)])
+        sleeps = []
+        client = RetryingClient(
+            server, RetryPolicy(rate_limit=10.0, burst=1),
+            sleep=sleeps.append)
+        clock = _FakeClock()
+        client.bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+        for _ in range(3):
+            client.execute(Query.table("t"))
+        # First attempt rode the burst; the next two each waited 0.1s.
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+        stats = client.stats()
+        assert stats["rate_limit_waits"] == 2
+        assert stats["rate_limit_wait_seconds"] == pytest.approx(0.3)
+
+
+class TestAsyncRetryLoop:
+    def test_submit_retries_then_succeeds(self):
+        server = _ScriptedServer([
+            CircuitOpen("open", retry_after=0.3),
+            _ok(),
+        ])
+        sleeps = []
+
+        async def fake_sleep(seconds):
+            sleeps.append(seconds)
+
+        client = RetryingClient(server,
+                                RetryPolicy(base_delay=0.05, max_delay=1.0),
+                                tenant="alice", rng=random.Random(3),
+                                async_sleep=fake_sleep)
+        result = asyncio.run(client.submit(Query.table("t")))
+        assert result.rows == [("ok",)]
+        assert len(sleeps) == 1 and sleeps[0] >= 0.3
+        assert server.calls[0][2]["tenant"] == "alice"
+        stats = client.stats()
+        assert stats["attempts"] == 2 and stats["retries"] == 1
+
+    def test_submit_permanent_error_reraised(self):
+        boom = ValueError("unbound parameter")
+        client = RetryingClient(_ScriptedServer([boom]))
+        with pytest.raises(ValueError):
+            asyncio.run(client.submit(Query.table("t")))
+        assert client.stats()["permanent_failures"] == 1
+
+    def test_sync_and_async_share_one_budget(self):
+        server = _ScriptedServer([_ok(), _ok()])
+        client = RetryingClient(server)
+        client.execute(Query.table("t"))
+        asyncio.run(client.submit(Query.table("t")))
+        stats = client.stats()
+        assert stats["attempts"] == 2 and stats["successes"] == 2
+
+
+class TestAgainstRealServer:
+    def test_client_rides_out_saturation_raw_caller_rejected(self):
+        """While the queue is saturated a raw caller is rejected with a
+        retry hint, but a RetryingClient quietly backs off and lands the
+        query once capacity frees."""
+        catalog = serving_catalog(num_rows=200, seed=3)
+        backend = _BlockingBackend()
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         queue_limit=1) as server:
+            async def scenario():
+                loop = asyncio.get_running_loop()
+                first = asyncio.ensure_future(server.submit(query))
+                await loop.run_in_executor(None, backend.started.wait, 10)
+                second = asyncio.ensure_future(server.submit(query))
+                await asyncio.sleep(0.05)
+                # Queue full: the uncooperative caller bounces …
+                with pytest.raises(QueryRejected) as exc_info:
+                    await server.submit(query)
+                assert exc_info.value.retry_after > 0.0
+
+                # … while the cooperative client retries in a thread.
+                client = RetryingClient(
+                    server, RetryPolicy(max_attempts=12, base_delay=0.01,
+                                        max_delay=0.05))
+                done = loop.run_in_executor(None, client.execute, query)
+                await asyncio.sleep(0.05)
+                backend.release.set()
+                result = await done
+                await asyncio.gather(first, second)
+                return client, result
+
+            client, result = asyncio.run(scenario())
+            assert result.rows == [("done",)]
+            stats = client.stats()
+            assert stats["successes"] == 1
+            assert stats["retries"] >= 1
+            assert stats["giveups"] == 0

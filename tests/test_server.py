@@ -1,10 +1,16 @@
 """The concurrent query server: admission control, deadlines, the shared
 cross-session plan cache, backend parity (including the process pool on
-the fuzz-suite plan corpus), and the many-clients stress test."""
+the fuzz-suite plan corpus), cooperative backpressure (retry-after,
+tenant quotas, circuit breaker), pool resilience under breakage and
+refresh, streaming shard transfer, and the many-clients stress tests
+that pin the admission-counter reconciliation invariant."""
 
 import asyncio
+import os
 import random
 import threading
+import time
+from concurrent.futures import BrokenExecutor
 
 import pytest
 
@@ -13,6 +19,7 @@ from repro.expr import col, param
 from repro.expr.aggregates import agg_sum
 from repro.logical import Query
 from repro.service import (
+    CircuitOpen,
     ExecutionBackend,
     ProcessPoolBackend,
     QueryRejected,
@@ -20,8 +27,29 @@ from repro.service import (
     QuerySession,
     QueryTimeout,
     SharedPlanCache,
+    make_backend,
 )
 from repro.storage import Catalog, Schema, SystemParameters
+
+
+def reconciles(stats) -> bool:
+    """The outcome-exclusivity invariant: every submission is counted in
+    exactly one terminal bucket."""
+    return stats["submitted"] == (
+        stats["completed"] + stats["failed"] + stats["timeouts"]
+        + stats["rejected_queue_full"] + stats["rejected_quota"]
+        + stats["rejected_circuit"])
+
+
+def wait_quiescent(server, timeout=10.0) -> dict:
+    """Poll until no query is queued or executing, then return stats."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = server.stats()
+        if stats["queue_depth"] == 0 and stats["in_flight"] == 0:
+            return stats
+        time.sleep(0.01)
+    raise AssertionError("server never drained")
 
 
 def serving_catalog(num_rows=4000, memory_blocks=40, seed=1):
@@ -329,3 +357,474 @@ class TestThreadBackendParity:
                                                        references)):
                 binds = {"lim": 30} if i == 1 else {}
                 assert server.execute(query, **binds).rows == reference
+
+
+# -- cooperative backpressure ------------------------------------------------------------
+class _FailingBackend(ExecutionBackend):
+    """Fails the first *n* executions with an injected backend error,
+    then serves a canned row."""
+
+    name = "failing"
+
+    def __init__(self, fail_first: int) -> None:
+        self.fail_first = fail_first
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def run_plan(self, plan, catalog, parallelism=1, batch_size=None,
+                 check_orders=False, ctx=None):
+        with self._lock:
+            self.calls += 1
+            n = self.calls
+        if n <= self.fail_first:
+            raise RuntimeError("injected backend failure")
+        return [("ok",)]
+
+
+class TestBackpressure:
+    def test_queue_full_rejection_carries_retry_after(self, catalog):
+        backend = _BlockingBackend()
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         queue_limit=1) as server:
+            async def scenario():
+                first = asyncio.ensure_future(server.submit(query))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, backend.started.wait, 10)
+                second = asyncio.ensure_future(server.submit(query))
+                await asyncio.sleep(0.05)
+                with pytest.raises(QueryRejected) as exc_info:
+                    await server.submit(query)
+                backend.release.set()
+                await asyncio.gather(first, second)
+                return exc_info.value
+
+            rejection = asyncio.run(scenario())
+            assert rejection.reason == "queue_full"
+            assert rejection.retry_after > 0.0
+            assert reconciles(server.stats())
+
+    def test_dispatch_submit_failure_releases_admission_slot(self, catalog):
+        """Regression: a submission the dispatch pool refuses (shutdown
+        race past the _closed check) must release its admission slot —
+        previously `queued` inflated forever and eventually every
+        submission was rejected."""
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend="serial", max_inflight=1,
+                         queue_limit=2) as server:
+            real_submit = server._dispatch.submit
+
+            def refusing_submit(*args, **kwargs):
+                raise RuntimeError("cannot schedule new futures")
+
+            server._dispatch.submit = refusing_submit
+            try:
+                for _ in range(3):  # more failures than queue_limit slots
+                    with pytest.raises(RuntimeError):
+                        server.execute(query)
+            finally:
+                server._dispatch.submit = real_submit
+            stats = server.stats()
+            assert stats["queue_depth"] == 0
+            assert stats["failed"] == 3
+            # The queue is empty again, so admission still works.
+            assert server.execute(query).rows
+            stats = server.stats()
+            assert stats["completed"] == 1
+            assert reconciles(stats)
+
+    def test_client_abandoned_query_not_recounted_completed(self, catalog):
+        """A query whose client stopped waiting mid-run is counted as
+        that client's timeout and *only* that: the late backend result is
+        discarded as `abandoned`, never double-counted `completed`."""
+        backend = _BlockingBackend()
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         queue_limit=2) as server:
+            with pytest.raises(QueryTimeout):
+                server.execute(query, timeout=0.05)
+            backend.release.set()
+            stats = wait_quiescent(server)
+            assert stats["timeouts"] == 1
+            assert stats["completed"] == 0
+            assert stats["abandoned"] == 1
+            assert reconciles(stats)
+
+    def test_queued_deadline_expiry_not_double_counted(self, catalog):
+        """Regression: the dispatch body's queued-deadline expiry used to
+        count both `failed` and `timeouts`; outcomes are exclusive now."""
+        backend = _BlockingBackend()
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         queue_limit=4, default_timeout=0.05) as server:
+            async def scenario():
+                first = asyncio.ensure_future(
+                    server.submit(query, timeout=30.0))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, backend.started.wait, 10)
+                with pytest.raises(QueryTimeout):
+                    await server.submit(query)
+                backend.release.set()
+                await first
+
+            asyncio.run(scenario())
+            stats = wait_quiescent(server)
+            assert stats["timeouts"] == 1
+            assert stats["failed"] == 0
+            assert stats["completed"] == 1
+            assert reconciles(stats)
+
+    def test_circuit_breaker_open_halfopen_close(self, catalog):
+        """Consecutive backend failures trip the circuit; the open
+        circuit sheds load with CircuitOpen + retry_after; the half-open
+        probe after the reset timeout closes it again."""
+        backend = _FailingBackend(fail_first=3)
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         circuit_threshold=3,
+                         circuit_reset_timeout=0.05) as server:
+            for _ in range(3):
+                with pytest.raises(RuntimeError):
+                    server.execute(query)
+            stats = server.stats()
+            assert stats["circuit_state"] == "open"
+            assert stats["circuit_opens"] == 1
+            with pytest.raises(CircuitOpen) as exc_info:
+                server.execute(query)
+            assert exc_info.value.reason == "circuit_open"
+            assert exc_info.value.retry_after > 0.0
+            # The open circuit never reaches the backend.
+            assert backend.calls == 3
+            time.sleep(0.06)
+            result = server.execute(query)  # the half-open probe
+            assert result.rows == [("ok",)]
+            stats = server.stats()
+            assert stats["circuit_state"] == "closed"
+            assert stats["circuit_half_opens"] == 1
+            assert stats["circuit_closes"] == 1
+            assert stats["rejected_circuit"] == 1
+            assert stats["failed"] == 3 and stats["completed"] == 1
+            assert reconciles(stats)
+
+    def test_tenant_quota_weighted_fairness(self, catalog):
+        """Under contention (wait queue at least half full), a tenant
+        over its weighted-fair share is rejected with reason "quota"
+        while a below-share tenant is still admitted."""
+        backend = _BlockingBackend()
+        query = Query.table("t").order_by("a")
+        with QueryServer(catalog, backend=backend, max_inflight=1,
+                         queue_limit=4,
+                         tenant_weights={"alice": 1.0, "bob": 1.0}) as server:
+            async def scenario():
+                # alice: one running + two queued (occupancy 3).
+                pending = [asyncio.ensure_future(
+                    server.submit(query, tenant="alice"))]
+                await asyncio.get_running_loop().run_in_executor(
+                    None, backend.started.wait, 10)
+                for _ in range(2):
+                    pending.append(asyncio.ensure_future(
+                        server.submit(query, tenant="alice")))
+                await asyncio.sleep(0.05)
+                # Queue is half full now: fair shares bind.  bob's first
+                # query is under his entitlement (floor(5/2) = 2) …
+                pending.append(asyncio.ensure_future(
+                    server.submit(query, tenant="bob")))
+                await asyncio.sleep(0.05)
+                # … while alice (occupancy 3 >= 2) is over hers.
+                with pytest.raises(QueryRejected) as exc_info:
+                    await server.submit(query, tenant="alice")
+                backend.release.set()
+                await asyncio.gather(*pending)
+                return exc_info.value
+
+            rejection = asyncio.run(scenario())
+            assert rejection.reason == "quota"
+            assert rejection.retry_after > 0.0
+            stats = wait_quiescent(server)
+            tenants = stats["tenants"]
+            assert tenants["alice"]["rejected_quota"] == 1
+            assert tenants["alice"]["completed"] == 3
+            assert tenants["bob"]["rejected_quota"] == 0
+            assert tenants["bob"]["completed"] == 1
+            assert stats["rejected_quota"] == 1
+            assert reconciles(stats)
+            # Per-tenant counters partition the global ones exactly.
+            for key in ("submitted", "completed", "failed", "timeouts",
+                        "rejected_queue_full", "rejected_quota",
+                        "rejected_circuit"):
+                assert sum(t[key] for t in tenants.values()) == stats[key]
+
+
+# -- pool resilience ---------------------------------------------------------------------
+def _worker_suicide(_: int) -> None:
+    """Kills the worker process outright: breaks the pool."""
+    os._exit(17)
+
+
+class TestPoolResilience:
+    def test_concurrent_broken_pool_single_rebuild(self):
+        """Many dispatch threads hitting one broken pool: the first
+        attempt's futures are cancelled, exactly one replacement pool is
+        built (the expectation guard makes racing rebuilds idempotent),
+        and every query succeeds on retry."""
+        catalog = serving_catalog(num_rows=800, seed=5)
+        query = Query.table("t").order_by("b", "a", "c")
+        session = QuerySession(catalog)
+        reference = session.execute(query)
+        plan = session.prepare(query, parallelism=2).plan
+        backend = ProcessPoolBackend(catalog, workers=2)
+        try:
+            handle = backend._ensure_pool()
+            doomed = handle.pool.submit(_worker_suicide, 0)
+            with pytest.raises(BrokenExecutor):
+                doomed.result(timeout=30)
+            results: list = [None] * 4
+            errors: list = []
+
+            def client(i):
+                try:
+                    results[i] = backend.run_plan(plan, catalog,
+                                                  parallelism=2)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert all(rows == reference for rows in results)
+            assert backend.describe()["pool_rebuilds"] == 1
+        finally:
+            backend.close()
+
+    def test_refresh_while_serving(self):
+        """refresh() swaps the pool under traffic: dispatch threads
+        mid-flight drain on the old generation or retry on the new one —
+        never an error, never a wrong result."""
+        catalog = serving_catalog(num_rows=600, seed=7)
+        query = Query.table("t").order_by("b", "a", "c")
+        session = QuerySession(catalog)
+        reference = session.execute(query)
+        plan = session.prepare(query, parallelism=2).plan
+        backend = ProcessPoolBackend(catalog, workers=2)
+        stop = threading.Event()
+        errors: list = []
+        served = [0]
+
+        def client():
+            while not stop.is_set():
+                try:
+                    rows = backend.run_plan(plan, catalog, parallelism=2)
+                except Exception as exc:
+                    errors.append(exc)
+                    return
+                if rows != reference:
+                    errors.append(AssertionError("rows diverged"))
+                    return
+                served[0] += 1
+
+        try:
+            threads = [threading.Thread(target=client) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for _ in range(2):
+                time.sleep(0.05)
+                backend.refresh()
+            stop.set()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert served[0] > 0
+        finally:
+            backend.close()
+
+
+# -- streaming shard transfer ------------------------------------------------------------
+class TestStreamingTransfer:
+    def test_streaming_matches_gathered_rows_and_tallies(self, catalog,
+                                                         references):
+        """Chunked transfer is bit-identical to whole-result pickles —
+        rows and absorbed worker tallies alike — and the worker-side
+        subplan cache hits on a re-served identical plan."""
+        from repro.engine import ExecutionContext
+
+        session = QuerySession(catalog)
+        plan = session.prepare(serving_queries()[0], parallelism=4).plan
+        streaming = ProcessPoolBackend(catalog, workers=1, chunk_rows=256)
+        gathered = ProcessPoolBackend(catalog, workers=1, streaming=False)
+        try:
+            ctx_s = ExecutionContext(catalog)
+            ctx_g = ExecutionContext(catalog)
+            rows_s = streaming.run_plan(plan, catalog, parallelism=4,
+                                        ctx=ctx_s)
+            rows_g = gathered.run_plan(plan, catalog, parallelism=4,
+                                       ctx=ctx_g)
+            assert rows_s == rows_g == references[0]
+            assert ctx_s.tallies() == ctx_g.tallies()
+
+            d = streaming.describe()
+            assert d["streaming"] and not gathered.describe()["streaming"]
+            assert d["streamed_queries"] == 1
+            # 4 shards of ~1000 rows in 256-row chunks.
+            assert d["streamed_chunks"] >= 8
+            assert d["subplan_cache_misses"] == 4
+            assert d["subplan_cache_hits"] == 0
+
+            # Re-serve the identical plan: the single worker has every
+            # shard subplan warm.
+            assert streaming.run_plan(plan, catalog,
+                                      parallelism=4) == references[0]
+            d = streaming.describe()
+            assert d["subplan_cache_hits"] == 4
+        finally:
+            streaming.close()
+            gathered.close()
+
+    def test_streaming_server_end_to_end(self, catalog, references):
+        """The default process backend streams: full server round trip
+        stays bit-identical, and the telemetry surfaces in stats()."""
+        with QueryServer(catalog, backend="process", parallelism=4,
+                         pool_workers=2) as server:
+            assert server.execute(serving_queries()[0]).rows == references[0]
+            stats = server.stats()
+            assert stats["streamed_queries"] == 1
+            assert stats["streamed_chunks"] > 0
+
+
+# -- the chaos reconciliation suite ------------------------------------------------------
+class _FlakyBackend(ExecutionBackend):
+    """Delegates to a real backend, injecting periodic failures and a
+    small fixed delay (to force queueing), plus an on-demand fail-
+    everything mode for tripping the circuit deterministically."""
+
+    name = "flaky"
+
+    def __init__(self, inner, fail_every=6, delay=0.004) -> None:
+        self.inner = inner
+        self.fail_every = fail_every
+        self.delay = delay
+        self.fail_mode = False
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def run_plan(self, plan, catalog, parallelism=1, batch_size=None,
+                 check_orders=False, ctx=None):
+        with self._lock:
+            self.calls += 1
+            n = self.calls
+            forced = self.fail_mode
+        if self.delay:
+            time.sleep(self.delay)
+        if forced or (self.fail_every and n % self.fail_every == 0):
+            raise RuntimeError("injected backend failure")
+        return self.inner.run_plan(plan, catalog, parallelism, batch_size,
+                                   check_orders, ctx)
+
+    def close(self):
+        self.inner.close()
+
+
+class TestChaosReconciliation:
+    @pytest.mark.parametrize("inner", ["serial", "threads", "process"])
+    def test_counters_reconcile_exactly_under_chaos(self, inner):
+        """Mixed async + thread clients against an overloaded server with
+        an injected flaky backend: rejections, queued-deadline expiries,
+        mid-run client timeouts and backend failures all occur — and the
+        admission counters still reconcile exactly, on every backend,
+        with observable circuit transitions at the end."""
+        catalog = serving_catalog(num_rows=500, seed=11)
+        query = Query.table("t").order_by("b", "a", "c")
+        reference = QuerySession(catalog).execute(query)
+        flaky = _FlakyBackend(make_backend(inner, catalog, pool_workers=2))
+        mismatches: list[str] = []
+        ASYNC_CLIENTS, THREADS, ROUNDS = 6, 3, 6
+
+        with QueryServer(catalog, backend=flaky, max_inflight=2,
+                         queue_limit=3, circuit_threshold=4,
+                         circuit_reset_timeout=0.05) as server:
+            def run_one(execute, label, r):
+                """One request with a rotating hazard profile."""
+                tenant = "alice" if r % 2 == 0 else "bob"
+                timeout = None
+                if r % 4 == 3:
+                    timeout = 0.001  # guaranteed mid-run client timeout
+                elif r % 4 == 2:
+                    timeout = 0.05   # may expire while queued
+                try:
+                    result = execute(timeout=timeout, tenant=tenant)
+                except (QueryRejected, QueryTimeout, RuntimeError):
+                    return
+                if result.rows != reference:
+                    mismatches.append(label)
+
+            async def async_client(i):
+                for r in range(ROUNDS):
+                    try:
+                        result = await server.submit(
+                            query,
+                            timeout=(0.001 if r % 4 == 3
+                                     else 0.05 if r % 4 == 2 else None),
+                            tenant="alice" if r % 2 == 0 else "bob")
+                    except (QueryRejected, QueryTimeout, RuntimeError):
+                        continue
+                    if result.rows != reference:
+                        mismatches.append(f"async{i}/{r}")
+
+            def thread_client(i):
+                for r in range(ROUNDS):
+                    run_one(lambda **kw: server.execute(query, **kw),
+                            f"thread{i}/{r}", r)
+
+            threads = [threading.Thread(target=thread_client, args=(i,))
+                       for i in range(THREADS)]
+            for t in threads:
+                t.start()
+
+            async def fan_out():
+                await asyncio.gather(*[async_client(i)
+                                       for i in range(ASYNC_CLIENTS)])
+
+            asyncio.run(fan_out())
+            for t in threads:
+                t.join()
+            stats = wait_quiescent(server)
+            assert mismatches == []
+            assert reconciles(stats)
+            total = (ASYNC_CLIENTS + THREADS) * ROUNDS
+            assert stats["submitted"] >= total  # circuit retries excluded
+
+            # Deterministic circuit phase: fail everything until the
+            # breaker opens and sheds at least one submission …
+            flaky.fail_every = 0  # fail_mode alone decides from here on
+            flaky.fail_mode = True
+            saw_circuit_open = False
+            for _ in range(50):
+                try:
+                    server.execute(query)
+                except CircuitOpen:
+                    saw_circuit_open = True
+                    break
+                except (QueryRejected, QueryTimeout, RuntimeError):
+                    continue
+            assert saw_circuit_open
+            assert server.stats()["circuit_state"] == "open"
+            # … then heal: the half-open probe closes it again.
+            flaky.fail_mode = False
+            time.sleep(0.06)
+            assert server.execute(query).rows == reference
+            stats = wait_quiescent(server)
+            assert stats["circuit_state"] == "closed"
+            assert stats["circuit_opens"] >= 1
+            assert stats["circuit_half_opens"] >= 1
+            assert stats["circuit_closes"] >= 1
+            assert stats["rejected_circuit"] >= 1
+            assert reconciles(stats)
+            # Per-tenant counters partition the global ones exactly.
+            tenants = stats["tenants"]
+            for key in ("submitted", "completed", "failed", "timeouts",
+                        "rejected_queue_full", "rejected_quota",
+                        "rejected_circuit"):
+                assert sum(t[key] for t in tenants.values()) == stats[key], key
