@@ -153,6 +153,12 @@ class ExecutionContext:
         #: engine).  Output rows, tallies and block charges are identical
         #: either way; the flag exists for benchmarks and parity tests.
         self.columnar = columnar
+        #: Per-operator estimated-vs-actual row counts, keyed by the
+        #: meter tag stamped at lowering time (scan ops carry their table
+        #: name in the tag).  Each cell is ``[estimated, actual]``; both
+        #: are integers so shard contributions sum commutatively and
+        #: worker absorb order cannot perturb the totals.
+        self.operator_rows: dict[str, list[int]] = {}
 
     # -- derived ---------------------------------------------------------------------
     def cost_units(self) -> float:
@@ -190,6 +196,21 @@ class ExecutionContext:
                 self.io.read(1, category=category)
             yield row
 
+    def meter_start(self, tag: str, estimate: int) -> list:
+        """Register one metered operator execution and return its cell.
+
+        The estimate is credited up front (at iterator-open time); the
+        caller bumps ``cell[1]`` as actual rows stream through.  Repeated
+        executions under the same tag (per-shard subplans, re-runs)
+        accumulate into one cell.
+        """
+        cell = self.operator_rows.get(tag)
+        if cell is None:
+            cell = [0, 0]
+            self.operator_rows[tag] = cell
+        cell[0] += estimate
+        return cell
+
     # -- parallel shard driving ----------------------------------------------------------
     def fork(self) -> "ExecutionContext":
         """A child context with fresh accountants (one per shard worker).
@@ -201,7 +222,7 @@ class ExecutionContext:
         return ExecutionContext(self.catalog, self.params, self.check_orders,
                                 self.batch_size, self.columnar)
 
-    def tallies(self) -> dict[str, int]:
+    def tallies(self) -> dict:
         """All counters as a flat, picklable dict.
 
         The process-pool backend's workers charge their own context and
@@ -222,9 +243,11 @@ class ExecutionContext:
             "rows_spilled": self.sort_metrics.rows_spilled,
             "merge_passes": self.sort_metrics.merge_passes,
             "in_memory_sorts": self.sort_metrics.in_memory_sorts,
+            "operator_rows": {tag: (cell[0], cell[1])
+                              for tag, cell in self.operator_rows.items()},
         }
 
-    def absorb_tallies(self, tallies: dict[str, int]) -> None:
+    def absorb_tallies(self, tallies: dict) -> None:
         """Fold a :meth:`tallies` dict (e.g. from a worker process) in."""
         self.io.blocks_read += tallies["blocks_read"]
         self.io.blocks_written += tallies["blocks_written"]
@@ -238,6 +261,15 @@ class ExecutionContext:
         self.sort_metrics.rows_spilled += tallies["rows_spilled"]
         self.sort_metrics.merge_passes += tallies["merge_passes"]
         self.sort_metrics.in_memory_sorts += tallies["in_memory_sorts"]
+        # ``.get``: pre-existing tally dicts (old snapshots, third-party
+        # backends) may not carry the per-operator key.
+        for tag, (estimated, actual) in tallies.get("operator_rows", {}).items():
+            cell = self.operator_rows.get(tag)
+            if cell is None:
+                self.operator_rows[tag] = [estimated, actual]
+            else:
+                cell[0] += estimated
+                cell[1] += actual
 
     def absorb(self, child: "ExecutionContext") -> None:
         """Fold a forked context's counters into this one."""
@@ -247,3 +279,4 @@ class ExecutionContext:
         self.io = IOAccountant()
         self.comparisons = ComparisonCounter()
         self.sort_metrics = SortMetrics()
+        self.operator_rows = {}

@@ -163,7 +163,7 @@ class MergeExchange(Operator):
     name = "MergeExchange"
 
     def __init__(self, children: Sequence[Operator], order: SortOrder,
-                 max_workers: int = 1) -> None:
+                 max_workers: int = 1, declared_disjoint: bool = False) -> None:
         if not children:
             raise ValueError("MergeExchange needs at least one child")
         if not order:
@@ -179,14 +179,24 @@ class MergeExchange(Operator):
             raise ValueError("max_workers must be >= 1")
         super().__init__(first, order, children)
         self.max_workers = max_workers
+        #: A planner-declared disjointness guarantee.  Re-assembled
+        #: serving gathers put :class:`~repro.engine.subplan.RowSource` /
+        #: ``StreamSource`` children under the exchange, which carry no
+        #: partition bounds for :func:`partitions_disjoint_on` to
+        #: re-detect — the plan node's ``disjoint`` arg is the only
+        #: surviving witness, so lowering and re-assembly pass it here.
+        self.declared_disjoint = declared_disjoint
 
     @property
     def partition_disjoint(self) -> bool:
         """Whether the children are ascending range partitions disjoint on
         the leading merge column — concatenation is then already globally
         sorted and the k-way heap (with its ``N·log2(k)`` comparisons) is
-        skipped entirely."""
-        return partitions_disjoint_on(self.children, self.output_order)
+        skipped entirely.  Either declared by the planner (which proved it
+        from the catalog's partitioning) or re-detected from the operator
+        shape, so hand-built pipelines get the same fast path."""
+        return (self.declared_disjoint
+                or partitions_disjoint_on(self.children, self.output_order))
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         streams = self._shard_streams(ctx)
@@ -257,7 +267,12 @@ def shard_scans(op: Operator, shard_count: int, max_workers: int = 1) -> Operato
         else:
             shards = [ShardedScan(op.table, shard_count, i)
                       for i in range(shard_count)]
-        return ExchangeUnion(shards, max_workers=max_workers)
+        exchange = ExchangeUnion(shards, max_workers=max_workers)
+        # The replaced scan's row meter (if lowering stamped one) moves to
+        # the gather, which emits the same rows — estimated-vs-actual
+        # tallies stay identical across parallelism settings.
+        exchange._meter = op._meter
+        return exchange
     new_children = tuple(shard_scans(c, shard_count, max_workers)
                          for c in op.children)
     if all(new is old for new, old in zip(new_children, op.children)):
@@ -463,8 +478,10 @@ def push_sorts_below_exchange(op: Operator, params=None) -> Operator:
                          known_prefix=op.known_prefix, algorithm=op.algorithm)
                     for shard in exchange.children
                 ]
-                return MergeExchange(shards, op.output_order,
-                                     max_workers=exchange.max_workers)
+                merged = MergeExchange(shards, op.output_order,
+                                       max_workers=exchange.max_workers)
+                merged._meter = op._meter
+                return merged
     new_children = tuple(push_sorts_below_exchange(c, params)
                          for c in op.children)
     if all(new is old for new, old in zip(new_children, op.children)):

@@ -20,6 +20,7 @@ the benchmark harness relies on.
 
 from __future__ import annotations
 
+import functools
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -29,10 +30,54 @@ from .batch import RowBatch, batches_of, collect_rows, flatten_batches
 from .context import ExecutionContext
 
 
+def _counted_batches(batches: Iterator[RowBatch], cell: list) -> Iterator[RowBatch]:
+    for batch in batches:
+        cell[1] += len(batch)
+        yield batch
+
+
+def _metered(fn):
+    """Wrap an ``execute_batches`` so a meter stamped at lowering time
+    (``op._meter = (tag, estimated_rows)``) counts actual output rows
+    into ``ctx.operator_rows``.
+
+    Wrapping happens at *class* definition time (see
+    ``Operator.__init_subclass__``), not per instance: ``shard_scans``
+    and ``with_exchange_workers`` clone operators with ``copy.copy``, and
+    a per-instance wrapper would keep executing the original's children
+    through its captured bound method.  Unmetered operators (``_meter``
+    is ``None`` — anything built outside plan lowering) pay one attribute
+    load and branch.
+    """
+    if getattr(fn, "_meter_wrapped", False):
+        return fn
+
+    @functools.wraps(fn)
+    def execute_batches(self, ctx):
+        meter = self._meter
+        batches = fn(self, ctx)
+        if meter is None:
+            return batches
+        return _counted_batches(batches, ctx.meter_start(meter[0], meter[1]))
+
+    execute_batches._meter_wrapped = True
+    return execute_batches
+
+
 class Operator:
     """Base class of all physical operators."""
 
     name: str = "operator"
+
+    #: Optional ``(tag, estimated_rows)`` meter, stamped on lowered
+    #: instances by :mod:`repro.engine.lowering` from the plan node's
+    #: cost-model stats.  ``None`` (the class default) disables metering.
+    _meter: Optional[tuple] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if "execute_batches" in cls.__dict__:
+            cls.execute_batches = _metered(cls.__dict__["execute_batches"])
 
     def __init__(self, schema: Schema, output_order: SortOrder = EMPTY_ORDER,
                  children: Sequence["Operator"] = ()) -> None:
@@ -41,6 +86,7 @@ class Operator:
         self.children: tuple[Operator, ...] = tuple(children)
 
     # -- execution ---------------------------------------------------------------
+    @_metered
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         """Yield the output as row batches (the engine's native path).
 

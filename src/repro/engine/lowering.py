@@ -66,6 +66,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..storage.catalog import Catalog
 
 
+#: Ops whose meter tag carries the scanned table's name, so serving-time
+#: feedback can attribute actual row counts back to catalog tables.
+_TABLE_SCAN_OPS = frozenset((
+    "TableScan", "ShardedScan", "RangePartitionScan",
+    "ClusteringIndexScan", "CoveringIndexScan",
+))
+
+
+def meter_for(plan) -> Optional[tuple]:
+    """The ``(tag, estimated_rows)`` meter for one plan node.
+
+    Scan tags embed the table name (``"TableScan:orders"``); everything
+    else meters under its op name.  Estimates are rounded to integers so
+    per-shard contributions sum commutatively — gathered and streaming
+    absorb orders must produce identical tallies.
+    """
+    stats = getattr(plan, "stats", None)
+    if stats is None:
+        return None
+    tag = plan.op
+    if tag in _TABLE_SCAN_OPS:
+        tag = f"{tag}:{plan.arg('table')}"
+    return (tag, int(stats.N + 0.5))
+
+
 def operators_from_plan(plan, catalog: "Catalog",
                         replace: Optional[Callable[..., Optional[Operator]]] = None
                         ) -> Operator:
@@ -73,14 +98,26 @@ def operators_from_plan(plan, catalog: "Catalog",
 
     *replace*, when given, is consulted on every plan node **before**
     default lowering; returning an operator substitutes the whole
-    subtree (its children are not lowered).  The process-pool backend
-    uses this to graft pre-executed shard results back into the plan
+    subtree (its children are not lowered; the hook stamps its own row
+    meters, if any).  The process-pool backend uses this to graft
+    pre-executed shard results back into the plan
     (:mod:`repro.engine.subplan`).
+
+    Every default-lowered operator carries a :func:`meter_for` stamp, so
+    executions report estimated-vs-actual rows per operator through
+    ``ExecutionContext.tallies()``.
     """
     if replace is not None:
         substituted = replace(plan)
         if substituted is not None:
             return substituted
+    operator = _lower(plan, catalog, replace)
+    operator._meter = meter_for(plan)
+    return operator
+
+
+def _lower(plan, catalog: "Catalog",
+           replace: Optional[Callable[..., Optional[Operator]]]) -> Operator:
     children = [operators_from_plan(c, catalog, replace) for c in plan.children]
     op = plan.op
 
@@ -95,7 +132,8 @@ def operators_from_plan(plan, catalog: "Catalog",
     if op == "ExchangeUnion":
         return ExchangeUnion(children, plan.arg("max_workers", 1))
     if op == "MergeExchange":
-        return MergeExchange(children, plan.order, plan.arg("max_workers", 1))
+        return MergeExchange(children, plan.order, plan.arg("max_workers", 1),
+                             declared_disjoint=plan.arg("disjoint", False))
     if op == "ClusteringIndexScan":
         return ClusteringIndexScan(catalog.table(plan.arg("table")))
     if op == "CoveringIndexScan":

@@ -43,11 +43,14 @@ lowering and kernel lookup entirely on a warm worker.
 
 Determinism: tasks are generated in plan pre-order and, per exchange, in
 shard order; the parent absorbs worker tallies in exactly that order, so
-counters never depend on worker scheduling.  One caveat: a gather whose
-children were range partitions disjoint on the merge key concatenates
-heap-free locally, but the re-assembled gather merges ``RowSource``
-children and cannot re-detect partition disjointness — rows are
-identical, comparison tallies may be slightly higher.
+counters never depend on worker scheduling.  A gather whose children
+were range partitions disjoint on the merge key concatenates heap-free
+locally; ``RowSource``/``StreamSource`` children carry no partition
+bounds to re-detect that from, so re-assembly forwards the plan node's
+``disjoint`` arg (the planner's proof, which survives :func:`strip_plan`)
+as the exchange's ``declared_disjoint`` — the re-assembled gather
+concatenates exactly where local execution does, keeping comparison
+tallies bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -64,7 +67,7 @@ from .context import ExecutionContext
 from .executor import BatchedExecutor
 from .exchange import ExchangeUnion, MergeExchange
 from .iterators import Operator
-from .lowering import operators_from_plan
+from .lowering import meter_for, operators_from_plan
 from .scans import RowSource
 
 #: The gather operators whose children are independently executable
@@ -157,10 +160,16 @@ def assemble(plan, occurrences: Sequence[Any],
                     children = [RowSource(c.schema, rows, node.order)
                                 for c, rows in zip(node.children,
                                                    rows_per_child)]
-                    return MergeExchange(children, node.order)
-                children = [RowSource(c.schema, rows)
-                            for c, rows in zip(node.children, rows_per_child)]
-                return ExchangeUnion(children)
+                    exchange: Operator = MergeExchange(
+                        children, node.order,
+                        declared_disjoint=node.arg("disjoint", False))
+                else:
+                    children = [RowSource(c.schema, rows)
+                                for c, rows in zip(node.children,
+                                                   rows_per_child)]
+                    exchange = ExchangeUnion(children)
+                exchange._meter = meter_for(node)
+                return exchange
         return None
 
     root = operators_from_plan(plan, catalog, replace=replace)
@@ -311,10 +320,15 @@ def assemble_streams(plan, occurrences: Sequence[Any],
                 if node.op == "MergeExchange":
                     children = [StreamSource(c.schema, stream, node.order)
                                 for c, stream in zip(node.children, streams)]
-                    return MergeExchange(children, node.order)
-                children = [StreamSource(c.schema, stream)
-                            for c, stream in zip(node.children, streams)]
-                return ExchangeUnion(children)
+                    exchange: Operator = MergeExchange(
+                        children, node.order,
+                        declared_disjoint=node.arg("disjoint", False))
+                else:
+                    children = [StreamSource(c.schema, stream)
+                                for c, stream in zip(node.children, streams)]
+                    exchange = ExchangeUnion(children)
+                exchange._meter = meter_for(node)
+                return exchange
         return None
 
     root = operators_from_plan(plan, catalog, replace=replace)

@@ -303,7 +303,17 @@ def _leaf_attr_stats(catalog: Catalog, leaf: LogicalExpr
     """Per-column ``(rows, distinct, shard_skew)`` from the base tables
     under *leaf*.  ``shard_skew ≥ 1`` is the max-shard/mean-shard row
     ratio at the probe fan-out — measured storage skew that amplifies
-    the cost of expanding joins under sharded execution."""
+    the cost of expanding joins under sharded execution.
+
+    Columns the *declared* statistics are silent about default to
+    key-like (``distinct = num_rows``, i.e. fanout 1) — which hides
+    exactly the duplicate-heavy columns the m2m penalty exists for.  On
+    materialised tables the measured per-shard statistics carry
+    mergeable :class:`~repro.storage.statistics.DistinctSketch` per
+    column; their union estimates the table-wide distinct count
+    overlap-aware, so the scorer sees the real duplication instead of
+    the uniform assumption.
+    """
     out: dict[str, tuple[float, float, float]] = {}
     for node in leaf.walk():
         if not isinstance(node, BaseRelation):
@@ -317,7 +327,15 @@ def _leaf_attr_stats(catalog: Catalog, leaf: LogicalExpr
             if total > 0:
                 skew = max(s.num_rows for s in shards) * len(shards) / total
         for column in table.schema.names:
-            out[column] = (rows, float(table.stats.distinct_of(column)), skew)
+            distinct = float(table.stats.distinct_of(column))
+            if column not in table.stats.distinct and shards:
+                sketches = [s.sketches.get(column) for s in shards]
+                if all(sketch is not None for sketch in sketches):
+                    merged = sketches[0]
+                    for sketch in sketches[1:]:
+                        merged = merged.union(sketch)
+                    distinct = max(1.0, min(rows, merged.estimate()))
+            out[column] = (rows, distinct, skew)
     return out
 
 

@@ -23,6 +23,7 @@ from .client import (
     TokenBucket,
     is_transient,
 )
+from .feedback import FeedbackConfig
 from .metrics import CircuitBreaker, LatencyTracker, ServerMetrics
 from .plan_cache import CacheStats, PlanCache, SharedPlanCache
 from .server import (
@@ -46,6 +47,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpen",
     "ExecutionBackend",
+    "FeedbackConfig",
     "LatencyTracker",
     "PlanCache",
     "PreparedQuery",

@@ -61,6 +61,7 @@ from functools import partial
 from typing import Any, Mapping, Optional
 
 from ..core.sort_order import SortOrder
+from ..engine.context import ExecutionContext
 from ..engine.kernels import kernel_stats
 from ..storage.catalog import Catalog
 from .backends import ExecutionBackend, make_backend
@@ -149,6 +150,7 @@ class QueryServer:
                  default_tenant_weight: float = 1.0,
                  circuit_threshold: int = 5,
                  circuit_reset_timeout: float = 1.0,
+                 feedback: Any = None,
                  **overrides: Any) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -179,6 +181,11 @@ class QueryServer:
             reset_timeout=circuit_reset_timeout)
         self._strategy = strategy
         self._config = config
+        #: Adaptive-statistics feedback (a
+        #: :class:`~repro.service.feedback.FeedbackConfig`, or ``None``
+        #: to disable): every dispatch session shares it, so drift seen
+        #: by any session invalidates the shared cache's stale plans.
+        self.feedback = feedback
         self._overrides = overrides
         self._dispatch = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-serve")
@@ -209,7 +216,8 @@ class QueryServer:
         session = getattr(self._local, "session", None)
         if session is None:
             session = QuerySession(self.catalog, self._strategy, self._config,
-                                   cache=self.cache, **self._overrides)
+                                   cache=self.cache, feedback=self.feedback,
+                                   **self._overrides)
             self._local.session = session
             with self._sessions_lock:
                 self._sessions.append(session)
@@ -243,10 +251,21 @@ class QueryServer:
             prepared = session.prepare(query, required_order,
                                        parallelism=parallelism)
             plan = prepared.bind(**binds)
+            # With feedback enabled, collect the execution's tallies (the
+            # process backend folds worker tallies into the given ctx) so
+            # estimated-vs-actual drift can trigger a stats refresh.  The
+            # ctx kwarg is only passed when needed — pre-ctx third-party
+            # backends keep working as long as feedback stays off.
+            ctx = None
+            run_kwargs: dict[str, Any] = {}
+            if self.feedback is not None:
+                ctx = ExecutionContext(self.catalog, batch_size=batch_size)
+                run_kwargs["ctx"] = ctx
             try:
                 rows = self.backend.run_plan(plan, self.catalog,
                                              parallelism=parallelism,
-                                             batch_size=batch_size)
+                                             batch_size=batch_size,
+                                             **run_kwargs)
             except Exception:
                 # Only backend execution trips the breaker — plan and
                 # bind errors above say nothing about backend health.
@@ -259,6 +278,8 @@ class QueryServer:
             # PreparedQuery.execute — keep the session's execution
             # counter truthful for aggregated stats().
             session.metrics.executions += 1
+            if ctx is not None:
+                session.observe_execution(prepared, ctx)
             disposition = "completed"
             return QueryResult(rows, prepared.from_cache,
                                time.perf_counter() - started,

@@ -48,6 +48,7 @@ from ..optimizer.volcano import (
     split_required_order,
 )
 from ..storage.catalog import Catalog
+from .feedback import FeedbackConfig, scan_table
 from .plan_cache import PlanCache
 
 
@@ -96,6 +97,15 @@ class SessionMetrics:
     goals_pruned: int = 0
     memo_hits: int = 0
     failure_memo_hits: int = 0
+    #: Adaptive-statistics feedback (sessions built with a
+    #: :class:`~repro.service.feedback.FeedbackConfig`): executions whose
+    #: tallies were inspected, scan meters found past the drift
+    #: threshold, and catalog refreshes actually performed (drift that
+    #: survived the ground-truth check — each one bumps ``stats_version``
+    #: and invalidates the cached plans reading the table).
+    drift_checks: int = 0
+    drift_events: int = 0
+    feedback_refreshes: int = 0
 
 
 class PreparedQuery:
@@ -157,7 +167,9 @@ class PreparedQuery:
             parallelism = self.parallelism
         executor = BatchedExecutor(parallelism=parallelism,
                                    use_threads=use_threads)
-        return executor.run(plan.to_operator(self.session.catalog), ctx)
+        rows = executor.run(plan.to_operator(self.session.catalog), ctx)
+        self.session.observe_execution(self, ctx)
+        return rows
 
 
 class QuerySession:
@@ -173,6 +185,7 @@ class QuerySession:
                  cache_capacity: int = 128,
                  cache_ttl: Optional[float] = None,
                  cache: Optional[PlanCache[PhysicalPlan]] = None,
+                 feedback: Optional[FeedbackConfig] = None,
                  **overrides: Any) -> None:
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, strategy, config, **overrides)
@@ -182,6 +195,9 @@ class QuerySession:
         #: then belong to the shared cache's owner and are ignored here.
         self.cache: PlanCache[PhysicalPlan] = cache if cache is not None \
             else PlanCache(cache_capacity, ttl_seconds=cache_ttl)
+        #: Adaptive-statistics feedback; ``None`` (the default) disables
+        #: drift detection entirely — see :mod:`repro.service.feedback`.
+        self.feedback = feedback
         self.metrics = SessionMetrics()
 
     # -- public API ------------------------------------------------------------------
@@ -290,6 +306,51 @@ class QuerySession:
         """Manually drop every cached plan (bulk loads, DDL scripts)."""
         return self.cache.invalidate_all()
 
+    # -- adaptive-statistics feedback ------------------------------------------------
+    def observe_execution(self, prepared: PreparedQuery,
+                          ctx: ExecutionContext) -> int:
+        """Inspect one execution's per-operator row tallies for drift.
+
+        For every scan meter whose actual row count left the configured
+        drift band, the live table is consulted: only when its *declared*
+        ``stats.num_rows`` also disagrees with the materialised row count
+        (i.e. the catalog statistics themselves are stale — not a benign
+        early-terminated scan under a ``Limit``) is
+        ``catalog.refresh_stats`` invoked.  The refresh re-measures
+        distinct sketches and row counts from the rows and bumps the
+        table's ``stats_version``, invalidating exactly the cached plans
+        that read it; the next ``prepare`` re-optimizes cost-first.
+
+        Returns the number of tables refreshed.  No-op (returning 0)
+        when the session was built without a :class:`FeedbackConfig`.
+        """
+        feedback = self.feedback
+        if feedback is None:
+            return 0
+        self.metrics.drift_checks += 1
+        refreshed = 0
+        seen: set[str] = set()
+        for tag, cell in ctx.operator_rows.items():
+            table_name = scan_table(tag)
+            if table_name is None or table_name in seen:
+                continue
+            seen.add(table_name)
+            estimated, actual = cell[0], cell[1]
+            if not feedback.drifted(estimated, actual):
+                continue
+            self.metrics.drift_events += 1
+            if not self.catalog.has_table(table_name):
+                continue
+            table = self.catalog.table(table_name)
+            if not table.is_materialized:
+                continue  # stats-only tables have no ground truth to re-measure
+            if not feedback.drifted(table.stats.num_rows, len(table)):
+                continue  # declared stats match reality; drift was per-run noise
+            self.catalog.refresh_stats(table_name)
+            self.metrics.feedback_refreshes += 1
+            refreshed += 1
+        return refreshed
+
     def stats(self) -> dict[str, Any]:
         """Serving-side observability: session counters + cache counters.
 
@@ -312,6 +373,9 @@ class QuerySession:
             "goals_pruned": self.metrics.goals_pruned,
             "memo_hits": self.metrics.memo_hits,
             "failure_memo_hits": self.metrics.failure_memo_hits,
+            "drift_checks": self.metrics.drift_checks,
+            "drift_events": self.metrics.drift_events,
+            "feedback_refreshes": self.metrics.feedback_refreshes,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_ttl_seconds": self.cache.ttl_seconds,

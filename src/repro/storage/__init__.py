@@ -5,6 +5,7 @@ from .handoff import CatalogPayload, build_catalog, catalog_payload
 from .schema import Column, FunctionalDependency, Schema
 from .statistics import (
     DEFAULT_BLOCK_SIZE,
+    DistinctSketch,
     StatsView,
     TableStats,
     blocks_for,
@@ -18,6 +19,7 @@ __all__ = [
     "CatalogPayload",
     "Column",
     "DEFAULT_BLOCK_SIZE",
+    "DistinctSketch",
     "FunctionalDependency",
     "Index",
     "RangePartitioning",

@@ -144,6 +144,7 @@ class Catalog:
             distinct={mapping[c]: d for c, d in src.stats.distinct.items()},
             group_distinct={frozenset(mapping[c] for c in g): d
                             for g, d in src.stats.group_distinct.items()},
+            sketches={mapping[c]: s for c, s in src.stats.sketches.items()},
         )
         rows = src._rows if src.is_materialized else None
         key = tuple(mapping[c] for c in src.primary_key) if src.primary_key else None

@@ -24,6 +24,7 @@ catalog knowledge:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
@@ -33,6 +34,88 @@ from .schema import Schema
 
 #: Default disk block size, bytes (the paper assumes 4 KB blocks).
 DEFAULT_BLOCK_SIZE = 4096
+
+#: Default sketch precision: 2**10 = 1024 one-byte registers per column.
+DEFAULT_SKETCH_PRECISION = 10
+
+
+class DistinctSketch:
+    """Mergeable HLL-style distinct-count sketch.
+
+    ``2**p`` one-byte registers, each holding the maximum leading-zero
+    rank observed for hashes routed to it.  Two sketches built over
+    different row sets merge by register-wise max, so the merged sketch
+    estimates the distinct count of the *union* of the two value sets —
+    overlap-aware, unlike summing per-input distinct counts.
+
+    Hashing uses :func:`hashlib.blake2b` over ``repr(value)`` rather
+    than the builtin ``hash``: the builtin is salted per process, and
+    sketches travel to pool workers inside catalog snapshots, so two
+    processes must bucket the same value identically for merges to be
+    meaningful.
+    """
+
+    __slots__ = ("p", "registers")
+
+    def __init__(self, p: int = DEFAULT_SKETCH_PRECISION,
+                 registers: Optional[bytes] = None) -> None:
+        if not 4 <= p <= 16:
+            raise ValueError("sketch precision must be in [4, 16]")
+        self.p = p
+        m = 1 << p
+        if registers is None:
+            self.registers = bytearray(m)
+        else:
+            if len(registers) != m:
+                raise ValueError("register array does not match precision")
+            self.registers = bytearray(registers)
+
+    def add(self, value: object) -> None:
+        digest = hashlib.blake2b(repr(value).encode("utf-8", "backslashreplace"),
+                                 digest_size=8).digest()
+        h = int.from_bytes(digest, "big")
+        index = h >> (64 - self.p)
+        width = 64 - self.p
+        rest = h & ((1 << width) - 1)
+        rank = width - rest.bit_length() + 1
+        if rank > self.registers[index]:
+            self.registers[index] = rank
+
+    @staticmethod
+    def of_values(values: Iterable[object],
+                  p: int = DEFAULT_SKETCH_PRECISION) -> "DistinctSketch":
+        sketch = DistinctSketch(p)
+        for value in values:
+            sketch.add(value)
+        return sketch
+
+    def union(self, other: "DistinctSketch") -> "DistinctSketch":
+        """Sketch of the union of both value sets (register-wise max)."""
+        if self.p != other.p:
+            raise ValueError("cannot merge sketches of different precision")
+        merged = bytes(max(a, b) for a, b in zip(self.registers, other.registers))
+        return DistinctSketch(self.p, merged)
+
+    def estimate(self) -> float:
+        """HLL estimate with the linear-counting small-range correction."""
+        m = 1 << self.p
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        harmonic = 0.0
+        zeros = 0
+        for r in self.registers:
+            harmonic += 2.0 ** -r
+            if r == 0:
+                zeros += 1
+        raw = alpha * m * m / harmonic
+        if raw <= 2.5 * m and zeros:
+            return m * math.log(m / zeros)
+        return raw
+
+    def __reduce__(self):
+        return (DistinctSketch, (self.p, bytes(self.registers)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistinctSketch(p={self.p}, estimate~{self.estimate():.0f})"
 
 
 def blocks_for(num_rows: float, row_bytes: int, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
@@ -55,6 +138,7 @@ class TableStats:
     num_rows: int
     distinct: dict[str, int] = field(default_factory=dict)
     group_distinct: dict[frozenset, int] = field(default_factory=dict)
+    sketches: dict[str, DistinctSketch] = field(default_factory=dict)
 
     def distinct_of(self, column: str) -> int:
         if self.num_rows == 0:
@@ -64,12 +148,22 @@ class TableStats:
 
     @staticmethod
     def measure(rows: list[tuple], schema: Schema) -> "TableStats":
-        """Exact statistics computed from materialised rows."""
-        distinct = {
-            col.name: len({row[i] for row in rows})
-            for i, col in enumerate(schema)
-        }
-        return TableStats(num_rows=len(rows), distinct=distinct)
+        """Exact statistics computed from materialised rows.
+
+        Alongside exact distinct counts, each column gets a
+        :class:`DistinctSketch` built from the same distinct value set
+        (adding duplicates is idempotent, so hashing only the distinct
+        values is both cheaper and identical).  Per-shard and
+        per-partition stats therefore carry mergeable sketches for free.
+        """
+        distinct: dict[str, int] = {}
+        sketches: dict[str, DistinctSketch] = {}
+        for i, col in enumerate(schema):
+            values = {row[i] for row in rows}
+            distinct[col.name] = len(values)
+            sketches[col.name] = DistinctSketch.of_values(values)
+        return TableStats(num_rows=len(rows), distinct=distinct,
+                          sketches=sketches)
 
 
 def measure_shards(rows: list[tuple], schema: Schema,
@@ -115,19 +209,25 @@ class StatsView:
     specific column groups.  Both refine ``D(e, s)``.
     """
 
-    __slots__ = ("schema", "num_rows", "_distinct", "_eq", "keys", "group_distinct")
+    __slots__ = ("schema", "num_rows", "_distinct", "_eq", "keys", "group_distinct",
+                 "_sketches")
 
     def __init__(self, schema: Schema, num_rows: float,
                  distinct: Mapping[str, float],
                  eq: Optional[AttributeEquivalence] = None,
                  keys: Iterable[frozenset] = (),
-                 group_distinct: Optional[Mapping[frozenset, float]] = None) -> None:
+                 group_distinct: Optional[Mapping[frozenset, float]] = None,
+                 sketches: Optional[Mapping[str, DistinctSketch]] = None) -> None:
         self.schema = schema
         self.num_rows = max(0.0, float(num_rows))
         self._distinct = dict(distinct)
         self._eq = eq
         self.keys = tuple(frozenset(k) for k in keys)
         self.group_distinct = dict(group_distinct or {})
+        #: Per-column value-domain sketches.  A sketch bounds the set of
+        #: values a column *may* hold, so it survives filters and joins
+        #: (which only shrink the domain) and merges under unions.
+        self._sketches = dict(sketches or {})
 
     # -- core quantities ---------------------------------------------------------
     @property
@@ -158,6 +258,16 @@ class StatsView:
         if d is None:
             d = self.num_rows
         return max(1.0, min(d, self.num_rows))
+
+    def sketch_of(self, column: str) -> Optional[DistinctSketch]:
+        """This column's value-domain sketch, via equivalence classes."""
+        if column in self._sketches:
+            return self._sketches[column]
+        if self._eq is not None:
+            for name, sketch in self._sketches.items():
+                if self._eq.same(name, column):
+                    return sketch
+        return None
 
     def _covers_key(self, columns: set[str]) -> bool:
         """Whether *columns* (eq-resolved) contain a candidate key."""
@@ -194,7 +304,8 @@ class StatsView:
         distinct = {c: min(d, new_rows) if new_rows > 0 else 0.0
                     for c, d in self._distinct.items()}
         groups = {g: min(d, new_rows) for g, d in self.group_distinct.items()}
-        return StatsView(new_schema, new_rows, distinct, self._eq, self.keys, groups)
+        return StatsView(new_schema, new_rows, distinct, self._eq, self.keys, groups,
+                         self._sketches)
 
     def projected(self, names: Iterable[str]) -> "StatsView":
         names = list(names)
@@ -203,21 +314,24 @@ class StatsView:
         distinct = {n: self._distinct[n] for n in names if n in self._distinct}
         keys = [k for k in self.keys if k <= name_set]
         groups = {g: d for g, d in self.group_distinct.items() if g <= name_set}
-        return StatsView(schema, self.num_rows, distinct, self._eq, keys, groups)
+        sketches = {n: self._sketches[n] for n in names if n in self._sketches}
+        return StatsView(schema, self.num_rows, distinct, self._eq, keys, groups,
+                         sketches)
 
     def with_eq(self, eq: AttributeEquivalence) -> "StatsView":
         return StatsView(self.schema, self.num_rows, self._distinct, eq,
-                         self.keys, self.group_distinct)
+                         self.keys, self.group_distinct, self._sketches)
 
     def with_rows(self, num_rows: float) -> "StatsView":
         distinct = {c: min(d, num_rows) for c, d in self._distinct.items()}
         groups = {g: min(d, num_rows) for g, d in self.group_distinct.items()}
-        return StatsView(self.schema, num_rows, distinct, self._eq, self.keys, groups)
+        return StatsView(self.schema, num_rows, distinct, self._eq, self.keys, groups,
+                         self._sketches)
 
     def with_keys(self, keys: Iterable[frozenset]) -> "StatsView":
         return StatsView(self.schema, self.num_rows, self._distinct, self._eq,
                          tuple(self.keys) + tuple(frozenset(k) for k in keys),
-                         self.group_distinct)
+                         self.group_distinct, self._sketches)
 
     def join(self, other: "StatsView",
              join_pairs: list[tuple[str, str]],
@@ -254,30 +368,45 @@ class StatsView:
         groups = dict(self.group_distinct)
         groups.update(other.group_distinct)
         groups = {g: min(d, rows) for g, d in groups.items()}
-        return StatsView(schema, rows, distinct, eq, out_keys, groups)
+        sketches = dict(self._sketches)
+        sketches.update(other._sketches)
+        return StatsView(schema, rows, distinct, eq, out_keys, groups, sketches)
 
     def union(self, other: "StatsView",
               eq: Optional[AttributeEquivalence] = None) -> "StatsView":
         """Union estimate (left schema wins, columns paired positionally):
-        row counts add, and per-column distincts combine left *and* right
-        contributions under a no-overlap assumption, capped at the row
+        row counts add, and per-column distincts combine by *sketch
+        union* when both sides carry a sketch — overlap-aware, so two
+        branches over the same value domain no longer double-count — and
+        fall back to the no-overlap sum otherwise, capped at the row
         count.  Shared by the Annotator and the physical union candidates
         so logical and physical estimates cannot diverge."""
         rows = self.num_rows + other.num_rows
         rename = dict(zip(self.schema.names, other.schema.names))
-        distinct = {
-            c: min(rows, self.distinct_of(c) + other.distinct_of(rename[c]))
-            for c in self.schema.names
-        }
-        return StatsView(self.schema, rows, distinct, eq or self._eq)
+        distinct: dict[str, float] = {}
+        sketches: dict[str, DistinctSketch] = {}
+        for c in self.schema.names:
+            no_overlap = self.distinct_of(c) + other.distinct_of(rename[c])
+            d = no_overlap
+            left = self.sketch_of(c)
+            right = other.sketch_of(rename[c])
+            if left is not None and right is not None and left.p == right.p:
+                merged = left.union(right)
+                sketches[c] = merged
+                d = min(d, merged.estimate())
+            distinct[c] = min(rows, d)
+        return StatsView(self.schema, rows, distinct, eq or self._eq,
+                         sketches=sketches)
 
     def grouped(self, group_columns: list[str], schema: Schema) -> "StatsView":
         """Aggregate output: one row per distinct group key (which is, by
         construction, a key of the output)."""
         rows = self.distinct_of_set(group_columns)
         distinct = {c: min(self.distinct_of(c), rows) for c in group_columns}
+        sketches = {c: self._sketches[c] for c in group_columns
+                    if c in self._sketches}
         return StatsView(schema, rows, distinct, self._eq,
-                         [frozenset(group_columns)], {})
+                         [frozenset(group_columns)], {}, sketches)
 
     @staticmethod
     def of_table(schema: Schema, stats: TableStats,
@@ -286,8 +415,10 @@ class StatsView:
         distinct = {c.name: float(stats.distinct_of(c.name)) for c in schema}
         key_sets = [frozenset(k) for k in keys]
         groups = {frozenset(g): float(d) for g, d in stats.group_distinct.items()}
+        sketches = {c.name: stats.sketches[c.name] for c in schema
+                    if c.name in stats.sketches}
         return StatsView(schema, float(stats.num_rows), distinct, eq,
-                         key_sets, groups)
+                         key_sets, groups, sketches)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StatsView(N={self.num_rows:.0f}, cols={self.schema.names})"
