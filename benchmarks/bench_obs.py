@@ -1,0 +1,152 @@
+"""Observability overhead benchmark: tracing on vs off vs absent.
+
+Drives the serving workload (from :mod:`bench_serving`) through three
+identically configured :class:`~repro.service.QueryServer` instances on
+the serial backend:
+
+* **baseline** — no observability at all (``obs=None``), the code path
+  every pre-observability caller gets;
+* **obs_disabled** — observability configured but per-query tracing
+  off (``ObservabilityConfig(trace_queries=False)``): the exposition
+  endpoints and slow-query log are live, queries run untraced;
+* **obs_enabled** — full tracing with per-operator timing
+  (``obs=True``): every query builds a span tree and meters wall time
+  per operator.
+
+The two headline ratios are throughputs against the baseline:
+
+* ``obs_enabled_throughput_ratio`` — full tracing must keep ≥ 0.90x of
+  the untraced throughput;
+* ``obs_disabled_throughput_ratio`` — the disabled path must be free:
+  ≤ 2% overhead (ratio ≥ 0.98), because disabled tracing is a single
+  ContextVar read per ambient-span probe.
+
+Runs are interleaved (baseline, disabled, enabled, repeat) and the
+best-of-N throughput per mode is ratioed, so a background-load blip
+penalises every mode equally instead of whichever mode it landed on.
+
+Two modes:
+
+* ``pytest benchmarks/bench_obs.py`` — smoke-sized, with the shared
+  results sink;
+* ``python benchmarks/bench_obs.py [--smoke]`` — standalone script
+  (used by CI's regression gate), no pytest required.
+"""
+
+import sys
+
+from bench_serving import _drive, serving_catalog, serving_workload
+
+from repro.bench import format_table
+from repro.service import ObservabilityConfig, QueryServer, QuerySession
+
+MODES = ("baseline", "obs_disabled", "obs_enabled")
+
+
+def _obs_for(mode: str):
+    if mode == "baseline":
+        return None
+    if mode == "obs_disabled":
+        return ObservabilityConfig(trace_queries=False)
+    return ObservabilityConfig()
+
+
+def run_obs_benchmark(num_rows: int = 4_000, clients: int = 6,
+                      rounds: int = 3, repeats: int = 3,
+                      parallelism: int = 4) -> dict:
+    """Best-of-*repeats* serving throughput per observability mode, with
+    every served row list checked against the serial references inside
+    :func:`bench_serving._drive`."""
+    catalog = serving_catalog(num_rows)
+    reference_session = QuerySession(catalog)
+    references = [reference_session.execute(query, **binds)
+                  for query, binds in serving_workload()]
+    result: dict = {"num_rows": num_rows, "clients": clients,
+                    "rounds": rounds, "repeats": repeats}
+    best: dict = {mode: None for mode in MODES}
+    for _ in range(repeats):
+        for mode in MODES:
+            with QueryServer(catalog, backend="serial",
+                             parallelism=parallelism,
+                             max_inflight=4, queue_limit=clients * rounds,
+                             obs=_obs_for(mode)) as server:
+                run = _drive(server, clients, rounds, references)
+                if mode == "obs_enabled":
+                    stats = server.stats()
+                    # Every timed query (and the warm-up pass) traced.
+                    assert stats["traces_started"] >= clients * rounds, stats
+            prev = best[mode]
+            if prev is None or run["throughput_qps"] > prev["throughput_qps"]:
+                best[mode] = run
+    result.update(best)
+    base_qps = result["baseline"]["throughput_qps"]
+    result["obs_enabled_throughput_ratio"] = (
+        result["obs_enabled"]["throughput_qps"] / base_qps)
+    result["obs_disabled_throughput_ratio"] = (
+        result["obs_disabled"]["throughput_qps"] / base_qps)
+    return result
+
+
+HEADERS = ["mode", "queries", "qps", "p50 ms", "p95 ms", "vs baseline"]
+
+
+def _rows(result: dict) -> list:
+    base_qps = result["baseline"]["throughput_qps"]
+    return [[mode, result[mode]["queries"],
+             round(result[mode]["throughput_qps"], 1),
+             round(result[mode]["p50_ms"], 1),
+             round(result[mode]["p95_ms"], 1),
+             f"{result[mode]['throughput_qps'] / base_qps:.3f}x"]
+            for mode in MODES]
+
+
+def test_observability_overhead(benchmark, results_sink):
+    result = benchmark.pedantic(
+        lambda: run_obs_benchmark(num_rows=3_000, clients=4, rounds=3,
+                                  repeats=2),
+        rounds=1, iterations=1)
+    results_sink(format_table(
+        HEADERS, _rows(result),
+        title=f"Observability overhead — serial backend "
+              f"({result['clients']} clients × {result['rounds']} rounds, "
+              f"best of {result['repeats']})"))
+    benchmark.extra_info["obs"] = {
+        k: v for k, v in result.items() if not isinstance(v, dict)}
+    # Rows are asserted identical inside _drive; the ratios are
+    # informational at smoke size (wall clock, shared runners) — the
+    # regression gate bounds them against conservative baselines.
+    assert result["obs_enabled_throughput_ratio"] > 0.0
+    assert result["obs_disabled_throughput_ratio"] > 0.0
+
+
+# -- standalone / CI smoke ---------------------------------------------------------------
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    result = run_obs_benchmark(
+        num_rows=4_000 if smoke else 8_000,
+        clients=6 if smoke else 8,
+        rounds=3 if smoke else 5,
+        repeats=3 if smoke else 5)
+    print(format_table(
+        HEADERS, _rows(result),
+        title=f"Observability overhead — serial backend "
+              f"({result['clients']} clients × {result['rounds']} rounds, "
+              f"best of {result['repeats']})"))
+    enabled = result["obs_enabled_throughput_ratio"]
+    disabled = result["obs_disabled_throughput_ratio"]
+    print(f"tracing enabled : {enabled:.3f}x baseline throughput")
+    print(f"tracing disabled: {disabled:.3f}x baseline throughput")
+    failed = False
+    if enabled < 0.90:
+        print(f"FAIL: tracing-enabled throughput ratio {enabled:.3f} "
+              "< 0.90")
+        failed = True
+    if disabled < 0.98:
+        print(f"FAIL: tracing-disabled throughput ratio {disabled:.3f} "
+              "< 0.98 (disabled path must be free)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

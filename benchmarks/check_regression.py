@@ -2,8 +2,8 @@
 
 Runs the smoke configurations of ``bench_plan_cache``,
 ``bench_join_ordering``, ``bench_scalability``, ``bench_kernels``,
-``bench_serving`` and ``bench_adaptive``, collects a small set of
-optimizer/serving/execution
+``bench_serving``, ``bench_adaptive`` and ``bench_obs``, collects a
+small set of optimizer/serving/execution/observability
 metrics, and compares them against the checked-in
 ``BENCH_baseline.json``.  Any metric regressing by more than the
 baseline's tolerance (default 20%) fails the build.
@@ -31,6 +31,7 @@ BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 sys.path.insert(0, str(BENCH_DIR))
 
 from bench_adaptive import run_adaptive_benchmark  # noqa: E402
+from bench_obs import run_obs_benchmark  # noqa: E402
 from bench_join_ordering import (  # noqa: E402
     run_plan_quality_benchmark,
     run_search_cost_benchmark,
@@ -138,6 +139,17 @@ def collect_metrics() -> tuple[dict[str, float], set[str]]:
     metrics["adaptive_replan_advantage"] = round(
         adaptive["adaptive_replan_advantage"], 3)
 
+    # Observability overhead: tracing must not tax the serving path —
+    # the fully-traced server keeps >= 0.90x of the untraced throughput
+    # and the configured-but-disabled path stays within 2% (both floors
+    # come from pinned baselines).  Same-host throughput ratios on the
+    # serial backend, so they gate on single-core hosts too.
+    obs = run_obs_benchmark(num_rows=4_000, clients=6, rounds=3, repeats=3)
+    metrics["obs_enabled_throughput_ratio"] = round(
+        obs["obs_enabled_throughput_ratio"], 3)
+    metrics["obs_disabled_throughput_ratio"] = round(
+        obs["obs_disabled_throughput_ratio"], 3)
+
     # Streaming shard transfer: tail latency must not regress against
     # whole-result gathering; the overlap win needs real cores to show.
     streamed = run_streaming_benchmark(num_rows=8_000, repeats=5)
@@ -203,7 +215,14 @@ def write_baseline(metrics: dict[str, float]) -> None:
               # Floor 0.85: streaming transfer may not cost more than
               # 15% at p95 vs gathering (the overlap win itself is
               # wall-clock noisy on shared runners).
-              "streaming_p95_improvement": round(0.85 / (1.0 - 0.20), 2)}
+              "streaming_p95_improvement": round(0.85 / (1.0 - 0.20), 2),
+              # Observability overhead floors: 1.125 * 0.80 = 0.90
+              # (tracing keeps >= 90% of untraced throughput) and
+              # 1.225 * 0.80 = 0.98 (the disabled path is <= 2% tax).
+              # Literals, not round(0.90 / 0.80, 2): banker's rounding
+              # turns 1.125 into 1.12 and silently loosens the floor.
+              "obs_enabled_throughput_ratio": 1.125,
+              "obs_disabled_throughput_ratio": 1.225}
     for name, value in {**pinned, **metrics}.items():
         higher_is_better = name.startswith(
             ("adaptive_replan_advantage",
@@ -212,7 +231,9 @@ def write_baseline(metrics: dict[str, float]) -> None:
              "serving_cache_hit_rate", "shard_merge_advantage",
              "sharded_join_advantage", "join_order_search_ratio",
              "overload_goodput", "overload_raw_shed",
-             "streaming_p95_improvement"))
+             "streaming_p95_improvement",
+             "obs_enabled_throughput_ratio",
+             "obs_disabled_throughput_ratio"))
         if name in pinned:
             value = pinned[name]
         specs[name] = {"value": value, "higher_is_better": higher_is_better}

@@ -133,7 +133,8 @@ class ExecutionContext:
                  params: Optional[SystemParameters] = None,
                  check_orders: bool = False,
                  batch_size: Optional[int] = None,
-                 columnar: bool = True) -> None:
+                 columnar: bool = True,
+                 meter_timing: bool = False) -> None:
         self.catalog = catalog
         self.params = params or (catalog.params if catalog else SystemParameters())
         self.io = IOAccountant()
@@ -159,6 +160,15 @@ class ExecutionContext:
         #: are integers so shard contributions sum commutatively and
         #: worker absorb order cannot perturb the totals.
         self.operator_rows: dict[str, list[int]] = {}
+        #: When true, metered operators additionally record inclusive
+        #: wall time and batch counts into :attr:`operator_times`
+        #: (EXPLAIN ANALYZE).  **Opt-in** — wall clocks are the one
+        #: nondeterministic tally, so default executions keep
+        #: :meth:`tallies` bit-identical across backends and runs.
+        self.meter_timing = meter_timing
+        #: Per-operator ``[seconds, batches]`` cells keyed like
+        #: :attr:`operator_rows`; always empty unless ``meter_timing``.
+        self.operator_times: dict[str, list] = {}
 
     # -- derived ---------------------------------------------------------------------
     def cost_units(self) -> float:
@@ -211,6 +221,16 @@ class ExecutionContext:
         cell[0] += estimate
         return cell
 
+    def time_cell(self, tag: str) -> list:
+        """The ``[seconds, batches]`` timing cell for *tag* (created on
+        first use); like row cells, repeated executions under one tag
+        accumulate."""
+        cell = self.operator_times.get(tag)
+        if cell is None:
+            cell = [0.0, 0]
+            self.operator_times[tag] = cell
+        return cell
+
     # -- parallel shard driving ----------------------------------------------------------
     def fork(self) -> "ExecutionContext":
         """A child context with fresh accountants (one per shard worker).
@@ -220,7 +240,8 @@ class ExecutionContext:
         deterministic regardless of thread interleaving.
         """
         return ExecutionContext(self.catalog, self.params, self.check_orders,
-                                self.batch_size, self.columnar)
+                                self.batch_size, self.columnar,
+                                self.meter_timing)
 
     def tallies(self) -> dict:
         """All counters as a flat, picklable dict.
@@ -245,6 +266,8 @@ class ExecutionContext:
             "in_memory_sorts": self.sort_metrics.in_memory_sorts,
             "operator_rows": {tag: (cell[0], cell[1])
                               for tag, cell in self.operator_rows.items()},
+            "operator_times": {tag: (cell[0], cell[1])
+                               for tag, cell in self.operator_times.items()},
         }
 
     def absorb_tallies(self, tallies: dict) -> None:
@@ -270,6 +293,14 @@ class ExecutionContext:
             else:
                 cell[0] += estimated
                 cell[1] += actual
+        for tag, (seconds, batches) in tallies.get("operator_times",
+                                                   {}).items():
+            cell = self.operator_times.get(tag)
+            if cell is None:
+                self.operator_times[tag] = [seconds, batches]
+            else:
+                cell[0] += seconds
+                cell[1] += batches
 
     def absorb(self, child: "ExecutionContext") -> None:
         """Fold a forked context's counters into this one."""
@@ -280,3 +311,4 @@ class ExecutionContext:
         self.comparisons = ComparisonCounter()
         self.sort_metrics = SortMetrics()
         self.operator_rows = {}
+        self.operator_times = {}

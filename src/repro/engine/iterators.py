@@ -21,6 +21,7 @@ the benchmark harness relies on.
 from __future__ import annotations
 
 import functools
+import time
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -32,6 +33,28 @@ from .context import ExecutionContext
 
 def _counted_batches(batches: Iterator[RowBatch], cell: list) -> Iterator[RowBatch]:
     for batch in batches:
+        cell[1] += len(batch)
+        yield batch
+
+
+def _timed_counted_batches(batches: Iterator[RowBatch], cell: list,
+                           tcell: list) -> Iterator[RowBatch]:
+    """Count rows like :func:`_counted_batches` and accumulate the wall
+    time spent *inside* this operator's ``next()`` — inclusive time
+    (children included), PostgreSQL's ``actual time`` convention.  Only
+    on the EXPLAIN ANALYZE path (``ctx.meter_timing``), so the default
+    hot loop pays nothing for it."""
+    clock = time.perf_counter
+    batches = iter(batches)
+    while True:
+        started = clock()
+        try:
+            batch = next(batches)
+        except StopIteration:
+            tcell[0] += clock() - started
+            return
+        tcell[0] += clock() - started
+        tcell[1] += 1
         cell[1] += len(batch)
         yield batch
 
@@ -58,7 +81,11 @@ def _metered(fn):
         batches = fn(self, ctx)
         if meter is None:
             return batches
-        return _counted_batches(batches, ctx.meter_start(meter[0], meter[1]))
+        cell = ctx.meter_start(meter[0], meter[1])
+        if ctx.meter_timing:
+            return _timed_counted_batches(batches, cell,
+                                          ctx.time_cell(meter[0]))
+        return _counted_batches(batches, cell)
 
     execute_batches._meter_wrapped = True
     return execute_batches

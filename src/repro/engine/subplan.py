@@ -56,10 +56,13 @@ tallies bit-identical across backends.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import threading
 from collections import OrderedDict
 from typing import Any, Iterator, Optional, Sequence
+
+from ..obs.trace import _NULL_SPAN as _NULL_CM, Trace
 
 from ..core.sort_order import EMPTY_ORDER
 from .batch import RowBatch
@@ -202,7 +205,9 @@ class ShardStream:
         self._chunks: list[list[tuple]] = []
         self._done = False
         self._error: Optional[BaseException] = None
-        self._result: Optional[tuple[dict, bool]] = None
+        #: The DONE payload: ``(tallies, cache_hit)`` untraced,
+        #: ``(tallies, cache_hit, span_records)`` when traced.
+        self._result: Optional[tuple] = None
         self._cond = threading.Condition()
         self.chunks_received = 0
         self._consumed = False
@@ -215,7 +220,7 @@ class ShardStream:
             self.chunks_received += 1
             self._cond.notify_all()
 
-    def finish(self, result: tuple[dict, bool]) -> None:
+    def finish(self, result: tuple) -> None:
         with self._cond:
             if self._done:
                 return
@@ -266,6 +271,15 @@ class ShardStream:
             raise RuntimeError("shard stream has no result "
                                "(not finished, or failed)")
         return self._result[1]
+
+    @property
+    def spans(self) -> Optional[list]:
+        """The worker's span records (valid after a clean finish);
+        ``None`` for untraced tasks."""
+        if self._result is None:
+            raise RuntimeError("shard stream has no result "
+                               "(not finished, or failed)")
+        return self._result[2] if len(self._result) > 2 else None
 
 
 class StreamSource(Operator):
@@ -395,26 +409,66 @@ def _require_worker_catalog() -> None:
                            "payload (init_worker was not run)")
 
 
+def _worker_trace(trace_ctx: Optional[tuple]) -> tuple[Optional[Trace],
+                                                       Optional[Any]]:
+    """Build this task's worker-local trace from a shipped
+    ``(trace_id, parent_span_id)`` pair.
+
+    The worker's span ids carry the parent span id as a prefix
+    (``"<parent>.<n>"``), so re-attached ids can never collide with the
+    serving process's own; its root span's ``parent_id`` is the parent's
+    dispatch span, which is what stitches the shipped records into the
+    parent tree.  Offsets are worker-relative (epoch = trace creation,
+    i.e. task start) — the parent rebases them on attach.
+    """
+    if trace_ctx is None:
+        return None, None
+    trace_id, parent_span_id = trace_ctx
+    trace = Trace(trace_id, id_prefix=f"{parent_span_id}.")
+    root = trace.begin("worker_execute", parent_id=parent_span_id,
+                       pid=os.getpid())
+    return trace, root
+
+
 def execute_subplan(plan, batch_size: Optional[int] = None,
-                    check_orders: bool = False) -> tuple[list[tuple], dict]:
+                    check_orders: bool = False,
+                    meter_timing: bool = False,
+                    trace_ctx: Optional[tuple] = None
+                    ) -> tuple[list[tuple], dict, Optional[list]]:
     """Worker entrypoint: run one shipped subplan to completion.
 
-    Returns the result rows plus the worker's counter tallies
-    (:meth:`~repro.engine.context.ExecutionContext.tallies`); the parent
-    absorbs tallies in task order so totals stay deterministic.
+    Returns ``(rows, tallies, span_records)``: the result rows, the
+    worker's counter tallies
+    (:meth:`~repro.engine.context.ExecutionContext.tallies`) — absorbed
+    by the parent in task order so totals stay deterministic — and,
+    when *trace_ctx* carries a ``(trace_id, parent_span_id)`` pair, the
+    worker's span records for re-attachment (``None`` otherwise).
     """
     _require_worker_catalog()
     ctx = ExecutionContext(_WORKER_CATALOG, batch_size=batch_size,
-                           check_orders=check_orders)
-    op, _ = _lowered_cached(plan)
-    rows = BatchedExecutor().run(op, ctx)
-    return rows, ctx.tallies()
+                           check_orders=check_orders,
+                           meter_timing=meter_timing)
+    trace, root = _worker_trace(trace_ctx)
+    if trace is None:
+        op, _ = _lowered_cached(plan)
+        rows = BatchedExecutor().run(op, ctx)
+        return rows, ctx.tallies(), None
+    with trace.span("lower", parent=root) as lower_span:
+        op, was_hit = _lowered_cached(plan)
+        lower_span.tag(cache_hit=was_hit)
+    with trace.span("run", parent=root) as run_span:
+        rows = BatchedExecutor().run(op, ctx)
+        run_span.tag(rows=len(rows))
+    trace.finish(root)
+    return rows, ctx.tallies(), trace.to_records()
 
 
 def execute_subplan_stream(plan, stream_id: int,
                            batch_size: Optional[int] = None,
                            check_orders: bool = False,
-                           chunk_rows: int = 2048) -> None:
+                           chunk_rows: int = 2048,
+                           meter_timing: bool = False,
+                           trace_ctx: Optional[tuple] = None) -> None:
     """Streaming worker entrypoint: ship the subplan's rows chunk by
     chunk on the pool's shared results queue.
 
@@ -422,10 +476,11 @@ def execute_subplan_stream(plan, stream_id: int,
 
     * ``(stream_id, seq, rows)`` — the next chunk, ``seq`` increasing
       from 0; at most ``chunk_rows`` rows each;
-    * ``(stream_id, -1, (tallies, cache_hit))`` — the DONE sentinel.
-      Per-stream ordering is guaranteed because one worker produces the
-      whole stream sequentially and queue feeds preserve per-process
-      order.
+    * ``(stream_id, -1, (tallies, cache_hit[, span_records]))`` — the
+      DONE sentinel; the third element rides along exactly like the
+      tallies when the task was traced (*trace_ctx* given).  Per-stream
+      ordering is guaranteed because one worker produces the whole
+      stream sequentially and queue feeds preserve per-process order.
 
     Errors are **not** sent on the queue: they propagate through the
     task future, whose done-callback fails the parent-side stream.
@@ -437,16 +492,33 @@ def execute_subplan_stream(plan, stream_id: int,
     if chunk_rows < 1:
         raise ValueError("chunk_rows must be >= 1")
     ctx = ExecutionContext(_WORKER_CATALOG, batch_size=batch_size,
-                           check_orders=check_orders)
-    op, cache_hit = _lowered_cached(plan)
+                           check_orders=check_orders,
+                           meter_timing=meter_timing)
+    trace, root = _worker_trace(trace_ctx)
+    with (trace.span("lower", parent=root) if trace is not None
+          else _NULL_CM) as lower_span:
+        op, cache_hit = _lowered_cached(plan)
+        lower_span.tag(cache_hit=cache_hit)
+    run_span = trace.begin("run", parent_id=root.span_id) \
+        if trace is not None else None
     seq = 0
+    shipped = 0
     pending: list[tuple] = []
     for batch in op.execute_batches(ctx):
         pending.extend(batch.rows)
         while len(pending) >= chunk_rows:
             _WORKER_QUEUE.put((stream_id, seq, pending[:chunk_rows]))
+            shipped += len(pending[:chunk_rows])
             del pending[:chunk_rows]
             seq += 1
     if pending:
         _WORKER_QUEUE.put((stream_id, seq, pending))
-    _WORKER_QUEUE.put((stream_id, -1, (ctx.tallies(), cache_hit)))
+        shipped += len(pending)
+    if trace is None:
+        _WORKER_QUEUE.put((stream_id, -1, (ctx.tallies(), cache_hit)))
+        return
+    run_span.tag(rows=shipped, chunks=seq + (1 if pending else 0))
+    trace.finish(run_span)
+    trace.finish(root)
+    _WORKER_QUEUE.put((stream_id, -1,
+                       (ctx.tallies(), cache_hit, trace.to_records())))

@@ -1,0 +1,184 @@
+"""Metrics exposition: Prometheus-style text, stable JSON snapshots, and
+the bounded slow-query log.
+
+Everything here operates on the plain dict ``QueryServer.stats()``
+already returns — the exposition layer adds *formats*, not new
+collection paths:
+
+* :func:`prometheus_text` — the text exposition format scrapers expect:
+  numeric scalars become gauges, string states become ``*_info`` series
+  with a value label, per-tenant sub-dicts become tenant-labelled
+  samples, and the server's log-spaced latency histogram becomes a
+  standard ``_bucket``/``_sum``/``_count`` triple (cumulative ``le``
+  buckets, ``+Inf`` last).
+* :func:`json_snapshot` — a stable (sorted-keys, versioned) JSON
+  document of the same stats, safe to diff across scrapes; non-finite
+  floats are sanitized (JSON has no ``Infinity``).
+* :class:`SlowQueryLog` — a bounded, thread-safe ring of the slowest
+  recent queries with their captured traces (threshold-gated, so the
+  steady state records nothing).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["SlowQueryLog", "json_snapshot", "prometheus_text"]
+
+#: Bumped when the snapshot's shape changes incompatibly.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def _metric_name(prefix: str, key: str) -> str:
+    return f"{prefix}_{key}".replace(".", "_").replace("-", "_")
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (math.inf, -math.inf):  # NaN / +-Inf
+        return "+Inf" if value == math.inf else str(value)
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(stats: dict, prefix: str = "repro") -> str:
+    """Render a ``QueryServer.stats()`` dict in the Prometheus text
+    exposition format (one scrape's worth of output)."""
+    lines: list[str] = []
+
+    def gauge(key: str, value, labels: str = "") -> None:
+        name = _metric_name(prefix, key)
+        if not labels:
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {_fmt(value)}")
+
+    histogram = stats.get("latency_histogram")
+    tenants = stats.get("tenants") or {}
+    for key in sorted(stats):
+        value = stats[key]
+        if key in ("latency_histogram", "tenants"):
+            continue
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            gauge(key, value)
+        elif isinstance(value, str):
+            name = _metric_name(prefix, f"{key}_info")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f'{name}{{value="{_escape_label(value)}"}} 1')
+        # Nested structures other than the two handled below are
+        # deliberately not exposed — exposition stays flat.
+
+    if tenants:
+        keys = sorted({k for t in tenants.values() for k in t})
+        for key in keys:
+            name = _metric_name(prefix, f"tenant_{key}")
+            lines.append(f"# TYPE {name} gauge")
+            for tenant in sorted(tenants):
+                value = tenants[tenant].get(key)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    lines.append(
+                        f'{name}{{tenant="{_escape_label(tenant)}"}} '
+                        f"{_fmt(value)}")
+
+    if histogram:
+        name = _metric_name(prefix, "latency_seconds")
+        lines.append(f"# TYPE {name} histogram")
+        total = histogram[-1][1]
+        # Trim the all-full tail: once a bucket's cumulative count
+        # reaches the total, later bounds add no information — emit one
+        # saturated bucket, then jump to +Inf.
+        saturated = False
+        for bound, cumulative in histogram[:-1]:
+            if saturated and cumulative >= total:
+                continue
+            saturated = cumulative >= total
+            lines.append(f'{name}_bucket{{le="{_fmt(float(bound))}"}} '
+                         f"{cumulative}")
+        lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{name}_sum "
+                     f"{_fmt(float(stats.get('latency_sum_seconds', 0.0)))}")
+        lines.append(f"{name}_count {total}")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitize(value: Any) -> Any:
+    """JSON-safe deep copy: non-finite floats become strings, unknown
+    objects their ``repr`` — a snapshot must always serialize."""
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return "+Inf" if value == math.inf else \
+            ("-Inf" if value == -math.inf else "NaN")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def json_snapshot(stats: dict, indent: Optional[int] = None) -> str:
+    """A stable, versioned JSON document of one stats scrape."""
+    doc = {"schema_version": SNAPSHOT_SCHEMA_VERSION,
+           "stats": _sanitize(stats)}
+    return json.dumps(doc, sort_keys=True, indent=indent)
+
+
+class SlowQueryLog:
+    """Bounded ring of the most recent threshold-crossing queries.
+
+    ``observe`` is called once per completed query with its latency and
+    (optionally) its trace; entries below the threshold are dropped
+    without recording, so a healthy server's log stays empty and costs
+    one float compare per query.  The ring holds the *most recent*
+    ``capacity`` slow queries — old entries age out.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 threshold_seconds: float = 0.1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if threshold_seconds < 0:
+            raise ValueError("threshold_seconds must be >= 0")
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        #: Total threshold crossings ever (>= len(entries())).
+        self.recorded = 0
+
+    def observe(self, *, fingerprint: str, tenant: str,
+                latency_seconds: float, backend: str,
+                trace: Any = None) -> bool:
+        if latency_seconds < self.threshold_seconds:
+            return False
+        entry = {
+            "fingerprint": fingerprint,
+            "tenant": tenant,
+            "latency_seconds": latency_seconds,
+            "backend": backend,
+            "trace_id": getattr(trace, "trace_id", None),
+            "trace": trace,
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+        return True
+
+    def entries(self) -> list[dict]:
+        """Most recent last; shallow copies, safe to mutate."""
+        with self._lock:
+            return [dict(e) for e in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

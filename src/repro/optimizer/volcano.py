@@ -43,6 +43,7 @@ from ..core.interesting import ForcedOrderStrategy, OrderStrategy
 from ..core.sort_order import EMPTY_ORDER, SortOrder
 from ..logical.algebra import LogicalExpr, OrderBy, referenced_tables
 from ..logical.builder import Query
+from ..obs.trace import child_span
 from ..storage.catalog import Catalog
 from .plans import PhysicalPlan
 from .pipeline import (
@@ -117,9 +118,12 @@ class Optimizer:
         execution-time knob through).
         """
         expr, required = split_required_order(query, required_order)
-        pipeline = self._pipeline_for(parallelism)
-        run = OptimizationRun(self.catalog, expr, pipeline.strategy,
-                              pipeline.config, pipeline=pipeline)
+        # Stage spans are ambient no-ops unless a query trace is active
+        # (the serving layer activates one around plan preparation).
+        with child_span("pre_check", strategy=self.config.strategy):
+            pipeline = self._pipeline_for(parallelism)
+            run = OptimizationRun(self.catalog, expr, pipeline.strategy,
+                                  pipeline.config, pipeline=pipeline)
         plan = run.optimize(required)
         self.last_telemetry = run.telemetry()
         do_refine = self.config.refine if refine is None else refine
@@ -212,53 +216,61 @@ class OptimizationRun(PhysicalSelection):
         """Stages 2–4: enumerate join orders, search each candidate,
         return the cheapest plan (bit-identical to the pre-pipeline
         optimizer under the default exhaustive enumerator)."""
-        start = time.perf_counter()
-        trees = list(self.pipeline.enumerator.candidate_trees(
-            self.catalog, self.root)) or [self.root]
-        self.enumerator_seconds = time.perf_counter() - start
+        with child_span("join_enumeration",
+                        enumerator=type(self.pipeline.enumerator).__name__
+                        ) as enum_span:
+            start = time.perf_counter()
+            trees = list(self.pipeline.enumerator.candidate_trees(
+                self.catalog, self.root)) or [self.root]
+            self.enumerator_seconds = time.perf_counter() - start
+            enum_span.tag(candidates=len(trees))
         root_tables = referenced_tables(self.root)
         root_schema = self.annotator.schema_of(self.root).names
         best: Optional[PhysicalPlan] = None
         best_tree = self.root
         seen: set[LogicalExpr] = set()
         self.join_order_candidates = 0
-        for tree in trees:
-            if tree in seen:
-                continue
-            seen.add(tree)
-            if tree == self.root:
-                search: PhysicalSelection = self
-                tree = self.root
-            else:
-                # An enumerator's candidate must be exactly equivalent:
-                # same tables, same output columns in the same order.
-                # Anything else (a misbehaving custom enumerator) is
-                # skipped rather than trusted.
-                try:
-                    if referenced_tables(tree) != root_tables:
-                        continue
-                    search = PhysicalSelection(self.catalog, tree,
-                                               self.strategy, self.config)
-                    if search.annotator.schema_of(tree).names != root_schema:
-                        continue
-                except Exception:
+        with child_span("physical_selection") as select_span:
+            for tree in trees:
+                if tree in seen:
                     continue
-                self._searches.append(search)
-            self.join_order_candidates += 1
-            plan = search.optimize_goal(tree, required)
-            plan = search.ensure_schema(plan, tree)
-            if best is None or plan.total_cost < best.total_cost:
-                best = plan
-                best_tree = tree
-        if best is None:
-            # Every candidate was rejected: fall back to the query as
-            # written (always a valid candidate).
-            self.join_order_candidates = 1
-            best = self.optimize_goal(self.root, required)
-            best = self.ensure_schema(best, self.root)
-            best_tree = self.root
+                seen.add(tree)
+                if tree == self.root:
+                    search: PhysicalSelection = self
+                    tree = self.root
+                else:
+                    # An enumerator's candidate must be exactly equivalent:
+                    # same tables, same output columns in the same order.
+                    # Anything else (a misbehaving custom enumerator) is
+                    # skipped rather than trusted.
+                    try:
+                        if referenced_tables(tree) != root_tables:
+                            continue
+                        search = PhysicalSelection(self.catalog, tree,
+                                                   self.strategy, self.config)
+                        if search.annotator.schema_of(tree).names != root_schema:
+                            continue
+                    except Exception:
+                        continue
+                    self._searches.append(search)
+                self.join_order_candidates += 1
+                plan = search.optimize_goal(tree, required)
+                plan = search.ensure_schema(plan, tree)
+                if best is None or plan.total_cost < best.total_cost:
+                    best = plan
+                    best_tree = tree
+            if best is None:
+                # Every candidate was rejected: fall back to the query as
+                # written (always a valid candidate).
+                self.join_order_candidates = 1
+                best = self.optimize_goal(self.root, required)
+                best = self.ensure_schema(best, self.root)
+                best_tree = self.root
+            select_span.tag(candidates=self.join_order_candidates,
+                            cost=best.total_cost)
         self.chosen_tree = best_tree
-        self.param_names = parameterize(best)
+        with child_span("parameterization"):
+            self.param_names = parameterize(best)
         return best
 
     def telemetry(self) -> dict[str, float]:

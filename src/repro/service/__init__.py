@@ -26,12 +26,16 @@ from .client import (
 from .feedback import FeedbackConfig
 from .metrics import CircuitBreaker, LatencyTracker, ServerMetrics
 from .plan_cache import CacheStats, PlanCache, SharedPlanCache
+# Re-exported so serving callers configure observability without a
+# second import (`QueryServer(..., obs=ObservabilityConfig(...))`).
+from ..obs import ObservabilityConfig, Tracer
 from .server import (
     CircuitOpen,
     QueryRejected,
     QueryResult,
     QueryServer,
     QueryTimeout,
+    TracedResult,
 )
 from .session import (
     PreparedQuery,
@@ -49,6 +53,7 @@ __all__ = [
     "ExecutionBackend",
     "FeedbackConfig",
     "LatencyTracker",
+    "ObservabilityConfig",
     "PlanCache",
     "PreparedQuery",
     "ProcessPoolBackend",
@@ -66,6 +71,8 @@ __all__ = [
     "SharedPlanCache",
     "ThreadBackend",
     "TokenBucket",
+    "TracedResult",
+    "Tracer",
     "bind_expression",
     "bind_plan",
     "is_transient",

@@ -41,6 +41,7 @@ from typing import Optional
 
 from ..engine.context import ExecutionContext
 from ..engine.executor import BatchedExecutor
+from ..obs.trace import active_span, child_span
 from ..engine.subplan import (
     ShardStream,
     assemble,
@@ -95,7 +96,13 @@ class SerialBackend(ExecutionBackend):
                                       check_orders=check_orders)
         executor = BatchedExecutor(parallelism=parallelism,
                                    use_threads=self.use_threads)
-        return executor.run(plan.to_operator(catalog), ctx)
+        # child_span is ambient: a no-op unless the caller is inside an
+        # active trace (the server's execute span), so untraced paths
+        # pay one ContextVar read.
+        with child_span("local_execute", backend=self.name) as span:
+            rows = executor.run(plan.to_operator(catalog), ctx)
+            span.tag(rows=len(rows))
+        return rows
 
 
 class ThreadBackend(SerialBackend):
@@ -349,6 +356,11 @@ class ProcessPoolBackend(ExecutionBackend):
                  batch_size: Optional[int] = None,
                  check_orders: bool = False,
                  ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        # Tracing rides the ambient span (the server's execute span):
+        # run_plan's signature stays trace-free for third-party
+        # backends, and untraced queries pay one ContextVar read.
+        parent = active_span()
+        meter_timing = ctx is not None and ctx.meter_timing
         occurrences, tasks = shard_subplans(plan)
         attempts = 0
         while True:
@@ -357,11 +369,13 @@ class ProcessPoolBackend(ExecutionBackend):
                 if self.streaming and occurrences:
                     rows, local = self._run_streaming(
                         handle, plan, occurrences, tasks, catalog,
-                        batch_size, check_orders)
+                        batch_size, check_orders, parent, meter_timing,
+                        attempts)
                 else:
                     rows, local = self._run_gathered(
                         handle, occurrences, tasks, plan, catalog,
-                        batch_size, check_orders)
+                        batch_size, check_orders, parent, meter_timing,
+                        attempts)
                 break
             except BrokenExecutor:
                 # A worker died (OOM, signal).  This attempt's futures
@@ -381,28 +395,78 @@ class ProcessPoolBackend(ExecutionBackend):
                 attempts += 1
                 if attempts > self.MAX_RETRIES:
                     raise
+        if parent is not None and attempts:
+            parent.tag(retries=attempts)
         if ctx is not None:
             ctx.absorb_tallies(local.tallies())
         return rows
 
+    @staticmethod
+    def _dispatch_span(parent, shard: int, attempt: int):
+        """Open one shard's dispatch span (finished when its result —
+        or failure — lands); returns ``(span, trace_ctx)`` or
+        ``(None, None)`` untraced."""
+        if parent is None:
+            return None, None
+        span = parent.trace.begin("shard_dispatch",
+                                  parent_id=parent.span_id,
+                                  shard=shard, attempt=attempt)
+        return span, (parent.trace.trace_id, span.span_id)
+
+    @staticmethod
+    def _close_failed_spans(parent, spans, exc: BaseException) -> None:
+        if parent is None:
+            return
+        for span in spans:
+            if span is not None and span.end is None:
+                span.tag(error=type(exc).__name__)
+                parent.trace.finish(span)
+
+    @staticmethod
+    def _attach_worker_spans(parent, span, records) -> None:
+        """Finish one shard's dispatch span and graft the worker's span
+        records under it, rebased onto the dispatch span's start (worker
+        clocks are not comparable with ours)."""
+        if span is None:
+            return
+        parent.trace.finish(span)
+        if records:
+            parent.trace.attach(records, base_offset=span.start)
+
     def _run_gathered(self, handle: _PoolHandle, occurrences, tasks, plan,
-                      catalog: Catalog, batch_size, check_orders
+                      catalog: Catalog, batch_size, check_orders,
+                      parent=None, meter_timing: bool = False,
+                      attempt: int = 0
                       ) -> tuple[list[tuple], ExecutionContext]:
         """Whole-result transfer: one future per task, each returning
         its full row list; the gather runs after every shard lands."""
-        futures = [handle.pool.submit(execute_subplan, task, batch_size,
-                                      check_orders)
-                   for task in tasks]
+        futures = []
+        spans = []
+        results = []
         try:
-            results = [future.result() for future in futures]
-        except BaseException:
+            # The submit loop sits inside the try: a broken pool can
+            # raise at submit time, and any dispatch spans already
+            # opened must still be closed.
+            for i, task in enumerate(tasks):
+                span, trace_ctx = self._dispatch_span(parent, i, attempt)
+                spans.append(span)
+                futures.append(handle.pool.submit(
+                    execute_subplan, task, batch_size, check_orders,
+                    meter_timing, trace_ctx))
+            for future, span in zip(futures, spans):
+                rows, tallies, records = future.result()
+                results.append((rows, tallies))
+                self._attach_worker_spans(parent, span, records)
+        except BaseException as exc:
             # Cancel-before-rebuild: never leave the first attempt's
             # futures running (or queued) on a pool we may retire.
             for future in futures:
                 future.cancel()
+            self._close_failed_spans(parent, spans, exc)
             raise
         local = ExecutionContext(catalog, batch_size=batch_size,
-                                 check_orders=check_orders)
+                                 check_orders=check_orders,
+                                 meter_timing=meter_timing)
         # Fold worker tallies in task (= shard) order: deterministic.
         for _, tallies in results:
             local.absorb_tallies(tallies)
@@ -415,10 +479,15 @@ class ProcessPoolBackend(ExecutionBackend):
             shard_rows.append([results[cursor + j][0] for j in range(width)])
             cursor += width
         root = assemble(plan, occurrences, shard_rows, catalog)
-        return BatchedExecutor().run(root, local), local
+        with child_span("merge", shards=len(tasks)) as merge_span:
+            rows = BatchedExecutor().run(root, local)
+            merge_span.tag(rows=len(rows))
+        return rows, local
 
     def _run_streaming(self, handle: _PoolHandle, plan, occurrences, tasks,
-                       catalog: Catalog, batch_size, check_orders
+                       catalog: Catalog, batch_size, check_orders,
+                       parent=None, meter_timing: bool = False,
+                       attempt: int = 0
                        ) -> tuple[list[tuple], ExecutionContext]:
         """Chunked transfer: the merge consumes live shard streams.
 
@@ -428,12 +497,16 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         streams: list[ShardStream] = []
         futures = []
+        spans = []
         try:
-            for task in tasks:
+            for i, task in enumerate(tasks):
                 stream = handle.router.register()
+                span, trace_ctx = self._dispatch_span(parent, i, attempt)
+                spans.append(span)
                 future = handle.pool.submit(
                     execute_subplan_stream, task, stream.stream_id,
-                    batch_size, check_orders, self.chunk_rows)
+                    batch_size, check_orders, self.chunk_rows,
+                    meter_timing, trace_ctx)
                 future.add_done_callback(_stream_failer(stream))
                 streams.append(stream)
                 futures.append(future)
@@ -446,20 +519,28 @@ class ProcessPoolBackend(ExecutionBackend):
                 cursor += width
             root = assemble_streams(plan, occurrences, shard_streams, catalog)
             local = ExecutionContext(catalog, batch_size=batch_size,
-                                     check_orders=check_orders)
-            rows = BatchedExecutor().run(root, local)
-        except BaseException:
+                                     check_orders=check_orders,
+                                     meter_timing=meter_timing)
+            # In streaming the "merge" span overlaps worker execution by
+            # design — it covers first-chunk to last-row of the gather.
+            with child_span("merge", shards=len(tasks),
+                            streaming=True) as merge_span:
+                rows = BatchedExecutor().run(root, local)
+                merge_span.tag(rows=len(rows))
+        except BaseException as exc:
             for future in futures:
                 future.cancel()
             for stream in streams:
                 handle.router.unregister(stream.stream_id)
+            self._close_failed_spans(parent, spans, exc)
             raise
         # The merge consumed every stream to its DONE sentinel, so the
         # worker tallies are in hand; fold them in task order, after the
         # merge's own charges — the sums are commutative, so totals are
         # identical to the gathered path's fold-then-merge order.
-        for stream in streams:
+        for stream, span in zip(streams, spans):
             local.absorb_tallies(stream.tallies)
+            self._attach_worker_spans(parent, span, stream.spans)
         with self._lock:
             self._streamed_queries += 1
             self._streamed_chunks += sum(s.chunks_received for s in streams)

@@ -36,53 +36,94 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, fields
+from bisect import bisect_left
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional
 
 #: The tenant used when a client does not identify itself.
 DEFAULT_TENANT = "default"
 
 
-class LatencyTracker:
-    """Latency quantiles over a bounded window of recent observations.
+def _log_spaced_bounds(lowest: float = 1e-4, highest: float = 60.0,
+                       factor: float = 2 ** 0.25) -> tuple[float, ...]:
+    """Histogram bucket upper bounds from *lowest* to past *highest*,
+    each ``factor`` apart (log-spaced): ~77 buckets at the defaults."""
+    bounds = [lowest]
+    while bounds[-1] < highest:
+        bounds.append(bounds[-1] * factor)
+    return tuple(bounds)
 
-    Keeps the last *window* latencies in a ring buffer; quantiles are
-    computed on demand with linear interpolation (the common
-    "nearest-rank with interpolation" estimator).  Bounded memory, no
-    per-record sorting — record is O(1), quantile is O(window·log
-    window) and only paid by `stats()` readers.
+
+#: Shared by every tracker: 0.1ms … 60s at 2**0.25 (≈19%) spacing, so a
+#: quantile read off the histogram is within half a bucket (~9%) of the
+#: exact sample quantile — plenty for latency telemetry.
+_LATENCY_BOUNDS = _log_spaced_bounds()
+
+
+class LatencyTracker:
+    """Latency quantiles over a fixed set of log-spaced histogram buckets.
+
+    Replaces the earlier ring-buffer design whose ``quantile`` re-sorted
+    a 2048-sample window on **every** ``stats()`` read: ``record`` is one
+    bisect into ~77 bounds, ``quantile`` walks the bounded cumulative
+    counts and interpolates linearly inside the landing bucket (clamped
+    to the observed min/max, so small-n reads stay exact-ish).  The same
+    buckets back the Prometheus exposition (:meth:`buckets`).
+
+    *window* is accepted for backward compatibility; the histogram
+    covers all observations, not a sliding window.
     """
 
     def __init__(self, window: int = 2048) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
-        self._ring: list[float] = []
-        self._next = 0
+        self._counts = [0] * (len(_LATENCY_BOUNDS) + 1)
         self.count = 0
         self.total_seconds = 0.0
+        self._min = math.inf
+        self._max = 0.0
 
     def record(self, seconds: float) -> None:
         self.count += 1
         self.total_seconds += seconds
-        if len(self._ring) < self.window:
-            self._ring.append(seconds)
-        else:
-            self._ring[self._next] = seconds
-            self._next = (self._next + 1) % self.window
+        if seconds < self._min:
+            self._min = seconds
+        if seconds > self._max:
+            self._max = seconds
+        # bisect_left: a value equal to a bound lands in that bound's
+        # bucket — Prometheus ``le`` (cumulative ≤) semantics.
+        self._counts[bisect_left(_LATENCY_BOUNDS, seconds)] += 1
 
     def quantile(self, q: float) -> float:
-        """The *q*-quantile (0..1) of the recorded window; 0.0 if empty."""
-        if not self._ring:
+        """The *q*-quantile (0..1) estimate; 0.0 if empty."""
+        if not self.count:
             return 0.0
-        ordered = sorted(self._ring)
-        rank = q * (len(ordered) - 1)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self._counts):
+            if not n:
+                continue
+            if cum + n >= target:
+                lo = _LATENCY_BOUNDS[i - 1] if i else self._min
+                hi = _LATENCY_BOUNDS[i] if i < len(_LATENCY_BOUNDS) \
+                    else self._max
+                frac = min(1.0, max(0.0, (target - cum) / n))
+                value = lo + (hi - lo) * frac
+                return max(self._min, min(self._max, value))
+            cum += n
+        return self._max
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound_seconds, count)`` pairs with
+        Prometheus ``le`` semantics, ending with ``(inf, total)``."""
+        out = []
+        cum = 0
+        for bound, n in zip(_LATENCY_BOUNDS, self._counts):
+            cum += n
+            out.append((bound, cum))
+        out.append((math.inf, self.count))
+        return out
 
     @property
     def mean(self) -> float:
@@ -104,9 +145,15 @@ class TenantMetrics:
     #: Gauge: queued + in-flight queries right now (the quantity the
     #: weighted-fair quota bounds).
     occupancy: int = 0
+    #: Completed-query latency distribution for this tenant alone.
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
 
     def as_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        out = {f.name: getattr(self, f.name) for f in fields(self)
+               if f.name != "latency"}
+        out["latency_p50_ms"] = self.latency.quantile(0.50) * 1000.0
+        out["latency_p95_ms"] = self.latency.quantile(0.95) * 1000.0
+        return out
 
 
 class QueryOutcome:
@@ -398,6 +445,7 @@ class ServerMetrics:
                 self.completed += 1
                 tenant.completed += 1
                 self.latency.record(seconds)
+                tenant.latency.record(seconds)
             elif disposition == "timeout":
                 self.timeouts += 1
                 tenant.timeouts += 1
@@ -466,6 +514,9 @@ class ServerMetrics:
                 "latency_p50_ms": self.latency.quantile(0.50) * 1000.0,
                 "latency_p95_ms": self.latency.quantile(0.95) * 1000.0,
                 "latency_mean_ms": self.latency.mean * 1000.0,
+                "latency_count": self.latency.count,
+                "latency_sum_seconds": self.latency.total_seconds,
+                "latency_histogram": self.latency.buckets(),
                 "busy_seconds": self.busy_seconds,
                 "worker_utilization": self.utilization(slots),
             }

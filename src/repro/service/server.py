@@ -56,13 +56,17 @@ import asyncio
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, fields
+from contextlib import nullcontext
+from dataclasses import dataclass, field, fields
 from functools import partial
 from typing import Any, Mapping, Optional
 
 from ..core.sort_order import SortOrder
 from ..engine.context import ExecutionContext
 from ..engine.kernels import kernel_stats
+from ..obs import ObservabilityConfig
+from ..obs.export import SlowQueryLog, json_snapshot, prometheus_text
+from ..obs.trace import Trace, Tracer, child_span
 from ..storage.catalog import Catalog
 from .backends import ExecutionBackend, make_backend
 from .metrics import (
@@ -75,7 +79,7 @@ from .plan_cache import SharedPlanCache
 from .session import QuerySession, SessionMetrics
 
 __all__ = ["CircuitOpen", "QueryRejected", "QueryResult", "QueryServer",
-           "QueryTimeout"]
+           "QueryTimeout", "TracedResult"]
 
 
 class QueryRejected(RuntimeError):
@@ -118,6 +122,26 @@ class QueryResult:
     backend: str
 
 
+@dataclass
+class TracedResult(QueryResult):
+    """A :class:`QueryResult` served with tracing on: carries the span
+    tree and the per-operator meter snapshots, so callers can render an
+    EXPLAIN ANALYZE without a second execution."""
+
+    trace: Optional[Trace] = None
+    plan: Any = None
+    operator_rows: dict = field(default_factory=dict)
+    operator_times: dict = field(default_factory=dict)
+
+    def explain_analyze(self) -> Any:
+        """The annotated plan tree (:class:`~repro.obs.analyze.ExplainAnalyze`)
+        for this execution."""
+        from ..obs.analyze import ExplainAnalyze
+        return ExplainAnalyze(self.plan, self.operator_rows,
+                              self.operator_times, self.latency_seconds,
+                              len(self.rows))
+
+
 class QueryServer:
     """Admission-controlled concurrent query serving over one catalog.
 
@@ -151,6 +175,7 @@ class QueryServer:
                  circuit_threshold: int = 5,
                  circuit_reset_timeout: float = 1.0,
                  feedback: Any = None,
+                 obs: Any = None,
                  **overrides: Any) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -186,6 +211,21 @@ class QueryServer:
         #: to disable): every dispatch session shares it, so drift seen
         #: by any session invalidates the shared cache's stale plans.
         self.feedback = feedback
+        #: Observability: ``obs=True`` enables the defaults, an
+        #: :class:`~repro.obs.ObservabilityConfig` customizes them,
+        #: ``None``/``False`` (the default) runs the exact pre-tracing
+        #: code paths — no spans, no meter timing, no slow log.
+        if obs is True:
+            obs = ObservabilityConfig()
+        self.obs: Optional[ObservabilityConfig] = obs or None
+        if self.obs is not None:
+            self.tracer: Optional[Tracer] = self.obs.tracer or Tracer()
+            self.slow_log: Optional[SlowQueryLog] = SlowQueryLog(
+                capacity=self.obs.slow_log_capacity,
+                threshold_seconds=self.obs.slow_query_seconds)
+        else:
+            self.tracer = None
+            self.slow_log = None
         self._overrides = overrides
         self._dispatch = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-serve")
@@ -235,56 +275,97 @@ class QueryServer:
                       required_order: Optional[SortOrder],
                       parallelism: int, batch_size: Optional[int],
                       binds: dict[str, Any],
-                      deadline: Optional[float]) -> QueryResult:
+                      deadline: Optional[float],
+                      trace: Optional[Trace] = None,
+                      root=None, queue_span=None) -> QueryResult:
         self.metrics.start_execution(outcome)
+        if trace is not None and queue_span is not None:
+            # Begun on the client thread at admission; this dispatch
+            # thread picking the query up ends the wait.
+            trace.finish(queue_span)
         started = time.perf_counter()
         disposition = "failed"
         breaker_recorded = False
         try:
-            if deadline is not None and time.monotonic() >= deadline:
-                # Expired while queued: this is a timeout, not a backend
-                # failure — resolved here exactly once (the client's own
-                # wait path will find the outcome already claimed).
-                disposition = "timeout"
-                raise QueryTimeout("deadline expired while queued")
-            session = self._session()
-            prepared = session.prepare(query, required_order,
-                                       parallelism=parallelism)
-            plan = prepared.bind(**binds)
-            # With feedback enabled, collect the execution's tallies (the
-            # process backend folds worker tallies into the given ctx) so
-            # estimated-vs-actual drift can trigger a stats refresh.  The
-            # ctx kwarg is only passed when needed — pre-ctx third-party
-            # backends keep working as long as feedback stays off.
-            ctx = None
-            run_kwargs: dict[str, Any] = {}
-            if self.feedback is not None:
-                ctx = ExecutionContext(self.catalog, batch_size=batch_size)
-                run_kwargs["ctx"] = ctx
-            try:
-                rows = self.backend.run_plan(plan, self.catalog,
-                                             parallelism=parallelism,
-                                             batch_size=batch_size,
-                                             **run_kwargs)
-            except Exception:
-                # Only backend execution trips the breaker — plan and
-                # bind errors above say nothing about backend health.
-                self.breaker.record_failure()
+            # activate(): re-establish the ambient span on *this* thread
+            # so child_span calls in session/optimizer/backend code all
+            # parent under the query's root span.
+            with (trace.activate(root) if trace is not None
+                  else nullcontext()):
+                if deadline is not None and time.monotonic() >= deadline:
+                    # Expired while queued: this is a timeout, not a backend
+                    # failure — resolved here exactly once (the client's own
+                    # wait path will find the outcome already claimed).
+                    disposition = "timeout"
+                    raise QueryTimeout("deadline expired while queued")
+                session = self._session()
+                prepared = session.prepare(query, required_order,
+                                           parallelism=parallelism)
+                with child_span("bind", params=len(binds)):
+                    plan = prepared.bind(**binds)
+                # With feedback or tracing on, collect the execution's
+                # tallies (the process backend folds worker tallies into
+                # the given ctx): feedback checks estimated-vs-actual
+                # drift, tracing feeds EXPLAIN ANALYZE.  The ctx kwarg is
+                # only passed when needed — pre-ctx third-party backends
+                # keep working as long as both stay off.
+                ctx = None
+                run_kwargs: dict[str, Any] = {}
+                if self.feedback is not None or trace is not None:
+                    ctx = ExecutionContext(
+                        self.catalog, batch_size=batch_size,
+                        meter_timing=(trace is not None
+                                      and self.obs.meter_timing))
+                    run_kwargs["ctx"] = ctx
+                try:
+                    with child_span("execute",
+                                    backend=self.backend.name) as espan:
+                        rows = self.backend.run_plan(plan, self.catalog,
+                                                     parallelism=parallelism,
+                                                     batch_size=batch_size,
+                                                     **run_kwargs)
+                        espan.tag(rows=len(rows))
+                except Exception:
+                    # Only backend execution trips the breaker — plan and
+                    # bind errors above say nothing about backend health.
+                    self.breaker.record_failure()
+                    breaker_recorded = True
+                    raise
+                self.breaker.record_success()
                 breaker_recorded = True
-                raise
-            self.breaker.record_success()
-            breaker_recorded = True
-            # The dispatch path executes through the backend, not
-            # PreparedQuery.execute — keep the session's execution
-            # counter truthful for aggregated stats().
-            session.metrics.executions += 1
-            if ctx is not None:
-                session.observe_execution(prepared, ctx)
-            disposition = "completed"
-            return QueryResult(rows, prepared.from_cache,
-                               time.perf_counter() - started,
-                               self.backend.name)
+                # The dispatch path executes through the backend, not
+                # PreparedQuery.execute — keep the session's execution
+                # counter truthful for aggregated stats().
+                session.metrics.executions += 1
+                if ctx is not None:
+                    session.observe_execution(prepared, ctx)
+                disposition = "completed"
+                elapsed = time.perf_counter() - started
+                if self.slow_log is not None:
+                    self.slow_log.observe(
+                        fingerprint=prepared.fingerprint,
+                        tenant=outcome.tenant,
+                        latency_seconds=elapsed,
+                        backend=self.backend.name, trace=trace)
+                if trace is None:
+                    return QueryResult(rows, prepared.from_cache, elapsed,
+                                       self.backend.name)
+                root.tag(disposition="completed",
+                         cache_hit=prepared.from_cache)
+                trace.finish(root)
+                return TracedResult(
+                    rows, prepared.from_cache, elapsed, self.backend.name,
+                    trace=trace, plan=prepared.plan,
+                    operator_rows={t: (c[0], c[1]) for t, c
+                                   in ctx.operator_rows.items()},
+                    operator_times={t: (c[0], c[1]) for t, c
+                                    in ctx.operator_times.items()})
         finally:
+            if trace is not None and root.end is None:
+                # Failure/timeout paths: close the root with the
+                # disposition so partial traces still render.
+                root.tag(disposition=disposition)
+                trace.finish(root)
             if not breaker_recorded:
                 # The backend never saw this query (queued-deadline
                 # expiry, plan/bind error): release any half-open probe
@@ -293,8 +374,18 @@ class QueryServer:
             self.metrics.finish_execution(time.perf_counter() - started,
                                           disposition, outcome)
 
+    @staticmethod
+    def _finish_rejected(trace, root, adm, reason: str) -> None:
+        """Close a rejected submission's spans (the trace is discarded —
+        the caller raises — but never left dangling open)."""
+        if trace is None:
+            return
+        trace.finish(adm)
+        root.tag(disposition=reason)
+        trace.finish(root)
+
     def _dispatch_query(self, query, required_order, parallelism, batch_size,
-                        binds, timeout, tenant):
+                        binds, timeout, tenant, trace=None):
         """Admission + submission; returns (cfuture, timeout, outcome)."""
         if self._closed:
             raise RuntimeError("QueryServer is closed")
@@ -302,9 +393,22 @@ class QueryServer:
         timeout = self.default_timeout if timeout is None else timeout
         parallelism = self.parallelism if parallelism is None else parallelism
         batch_size = self.batch_size if batch_size is None else batch_size
+        # Per-call ``trace=`` overrides the config default; either way a
+        # trace only exists when the server was built with ``obs=``.
+        want_trace = (self.obs is not None and self.obs.trace_queries) \
+            if trace is None else bool(trace)
+        tr = self.tracer.start("query") \
+            if want_trace and self.tracer is not None else None
+        root = adm = None
+        if tr is not None:
+            root = tr.begin("query", tenant=tenant,
+                            backend=self.backend.name,
+                            parallelism=parallelism)
+            adm = tr.begin("admission", parent_id=root.span_id)
         circuit_retry = self.breaker.check()
         if circuit_retry is not None:
             self.metrics.count_rejected_circuit(tenant)
+            self._finish_rejected(tr, root, adm, "rejected_circuit")
             raise CircuitOpen(
                 f"execution circuit open (backend failing); retry in "
                 f"{circuit_retry:.2f}s", retry_after=circuit_retry)
@@ -316,6 +420,7 @@ class QueryServer:
             # Release the half-open probe slot check() may have reserved
             # — this submission never reaches the backend.
             self.breaker.abort_probe()
+            self._finish_rejected(tr, root, adm, f"rejected_{verdict}")
             if verdict == "queue_full":
                 raise QueryRejected(
                     f"admission queue full ({self.queue_limit} waiting)",
@@ -323,17 +428,28 @@ class QueryServer:
             raise QueryRejected(
                 f"tenant {tenant!r} over its fair-share admission quota",
                 retry_after=self._retry_after(), reason="quota")
+        queue_span = None
+        if tr is not None:
+            tr.finish(adm)
+            # Begun here on the client thread, finished by the dispatch
+            # thread that picks the query up — the gap IS the queue wait.
+            queue_span = tr.begin("queue_wait", parent_id=root.span_id)
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
             future = self._dispatch.submit(
                 partial(self._run_admitted, outcome, query, required_order,
-                        parallelism, batch_size, binds, deadline))
+                        parallelism, batch_size, binds, deadline,
+                        tr, root, queue_span))
         except BaseException:
             # The dispatch pool refused the submission (shutdown race
             # past the _closed check): release the admission slot this
             # query holds, or `queued` inflates forever.
             self.metrics.abandon_queued(outcome)
             self.breaker.abort_probe()
+            if tr is not None:
+                tr.finish(queue_span)
+                root.tag(disposition="failed")
+                tr.finish(root)
             raise
         # A submission cancelled before its slot started never reaches
         # _run_admitted; reclaim its queue slot (and any reserved probe)
@@ -351,17 +467,20 @@ class QueryServer:
                      batch_size: Optional[int] = None,
                      timeout: Optional[float] = None,
                      tenant: Optional[str] = None,
+                     trace: Optional[bool] = None,
                      **binds: Any) -> QueryResult:
         """Serve one query from an asyncio client.
 
         Raises :class:`QueryRejected` immediately when the wait queue is
         full (or the tenant is over quota, or the circuit is open —
         each with a ``retry_after`` hint), :class:`QueryTimeout` when
-        the deadline passes first.
+        the deadline passes first.  With tracing on (``obs=`` at server
+        construction; per-call ``trace=`` overrides the configured
+        default) the result is a :class:`TracedResult`.
         """
         future, timeout, outcome = self._dispatch_query(
             query, required_order, parallelism, batch_size, binds, timeout,
-            tenant)
+            tenant, trace)
         wrapped = asyncio.wrap_future(future)
         try:
             if timeout is None:
@@ -375,11 +494,12 @@ class QueryServer:
                 *, parallelism: Optional[int] = None,
                 batch_size: Optional[int] = None,
                 timeout: Optional[float] = None,
-                tenant: Optional[str] = None, **binds: Any) -> QueryResult:
+                tenant: Optional[str] = None,
+                trace: Optional[bool] = None, **binds: Any) -> QueryResult:
         """Serve one query from a plain (non-async) thread client."""
         future, timeout, outcome = self._dispatch_query(
             query, required_order, parallelism, batch_size, binds, timeout,
-            tenant)
+            tenant, trace)
         try:
             return future.result(timeout)
         except (TimeoutError, QueryTimeout) as exc:
@@ -418,4 +538,23 @@ class QueryServer:
         # shared caches, NOT summed per session (sessions all read the
         # same process-wide counters; summing would multiply them).
         out.update(kernel_stats())
+        if self.tracer is not None:
+            out["traces_started"] = self.tracer.traces_started
+        if self.slow_log is not None:
+            out["slow_queries_recorded"] = self.slow_log.recorded
+            out["slow_queries_retained"] = len(self.slow_log)
         return out
+
+    def metrics_text(self) -> str:
+        """:meth:`stats` rendered as a Prometheus-style exposition page
+        (see :func:`repro.obs.export.prometheus_text`)."""
+        return prometheus_text(self.stats())
+
+    def snapshot(self, indent: Optional[int] = None) -> str:
+        """:meth:`stats` as a stable, versioned JSON document."""
+        return json_snapshot(self.stats(), indent=indent)
+
+    def slow_queries(self) -> list[dict]:
+        """The slow-query ring buffer, oldest first (empty without
+        ``obs=``)."""
+        return self.slow_log.entries() if self.slow_log is not None else []

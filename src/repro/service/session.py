@@ -40,6 +40,8 @@ from ..logical.algebra import LogicalExpr, referenced_tables
 from ..logical.builder import Query
 from ..logical.fingerprint import logical_fingerprint
 from ..core.sort_order import SortOrder
+from ..obs.analyze import ExplainAnalyze
+from ..obs.trace import child_span
 from ..optimizer.plans import PhysicalPlan
 from ..optimizer.volcano import (
     Optimizer,
@@ -212,6 +214,18 @@ class QuerySession:
         logical query prepared at a different parallelism is a different
         physical plan.
         """
+        # The "plan" span covers cache lookup + (on a miss) the full
+        # optimizer pipeline; its children are the four stage spans the
+        # Optimizer emits.  No-op when no query trace is active.
+        with child_span("plan") as span:
+            prepared = self._prepare(query, required_order, parallelism)
+            span.tag(cache_hit=prepared.from_cache,
+                     fingerprint=prepared.fingerprint)
+        return prepared
+
+    def _prepare(self, query: TUnion[Query, LogicalExpr],
+                 required_order: Optional[SortOrder] = None,
+                 parallelism: int = 1) -> PreparedQuery:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         # The same normalization Optimizer.optimize applies, so the cache
@@ -295,6 +309,34 @@ class QuerySession:
                 required_order: Optional[SortOrder] = None,
                 parallelism: int = 1) -> str:
         return self.prepare(query, required_order, parallelism=parallelism).explain()
+
+    def explain_analyze(self, query: TUnion[Query, LogicalExpr],
+                        required_order: Optional[SortOrder] = None,
+                        parallelism: int = 1,
+                        batch_size: Optional[int] = None,
+                        use_threads: bool = False,
+                        **binds: Any) -> ExplainAnalyze:
+        """Prepare, *actually execute*, and annotate the plan tree with
+        measured rows, wall time and batch counts per operator —
+        estimated vs actual, PostgreSQL's ``EXPLAIN ANALYZE``.
+
+        The execution is a real one (feedback, kernels, metering all
+        engaged) with ``meter_timing`` on; the result rows ride along on
+        the returned :class:`~repro.obs.analyze.ExplainAnalyze` as
+        ``.rows`` so callers don't pay for a second run.
+        """
+        prepared = self.prepare(query, required_order,
+                                parallelism=parallelism)
+        ctx = ExecutionContext(self.catalog, batch_size=batch_size,
+                               meter_timing=True)
+        start = time.perf_counter()
+        rows = prepared.execute(ctx, use_threads=use_threads, **binds)
+        wall = time.perf_counter() - start
+        return ExplainAnalyze(
+            prepared.plan,
+            {tag: (c[0], c[1]) for tag, c in ctx.operator_rows.items()},
+            {tag: (c[0], c[1]) for tag, c in ctx.operator_times.items()},
+            wall, len(rows), rows=rows)
 
     def cost_of(self, query: TUnion[Query, LogicalExpr],
                 required_order: Optional[SortOrder] = None,
